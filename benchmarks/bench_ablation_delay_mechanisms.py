@@ -1,0 +1,78 @@
+"""Ablation 2 — delay-fault mechanisms and transfer strategies.
+
+Two axes (DESIGN.md section 5):
+
+* *fan-out loads vs rerouting*: achieved delay per mechanism over a sweep
+  of requested magnitudes — fan-out tops out quickly ("good for small
+  delays"), rerouting scales ("good for large delays");
+* *full vs partial reconfiguration*: the paper was forced to download the
+  full configuration file for delays; the partial path it could not use
+  is measured here.
+"""
+
+from repro.core import Fault, FaultModel, FadesCampaign, Target, TargetKind
+from repro.synth import synthesize
+from repro.fpga import implement
+
+
+def achieved_delay(evaluation, magnitude, mechanism):
+    fades = evaluation.fades
+    timing = fades.impl.timing
+    net = fades.locmap.mapped.ffs[0].q
+    before = timing.net_delay(net)
+    fault = Fault(FaultModel.DELAY, Target(TargetKind.NET, net), 1,
+                  duration_cycles=1.0, magnitude_ns=magnitude,
+                  mechanism=mechanism)
+    injection = fades.injector.prepare(fault)
+    injection.inject()
+    achieved = timing.net_delay(net) - before
+    injection.remove()
+    fades._restore_configuration()
+    return achieved
+
+
+def test_ablation_delay_mechanisms(benchmark, evaluation, record_artefact):
+    magnitudes = [0.05, 0.5, 2.0, 10.0, 40.0]
+
+    def sweep():
+        rows = []
+        for magnitude in magnitudes:
+            rows.append((magnitude,
+                         achieved_delay(evaluation, magnitude, "fanout"),
+                         achieved_delay(evaluation, magnitude, "reroute")))
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    lines = ["Ablation 2a: achieved delay (ns) per mechanism",
+             f"{'requested':>10} {'fanout':>8} {'reroute':>8}"]
+    for requested, fanout, reroute in rows:
+        lines.append(f"{requested:>10.2f} {fanout:>8.3f} {reroute:>8.3f}")
+
+    # Full vs partial transfer strategy on one representative fault.
+    fades = evaluation.fades
+    net = fades.locmap.mapped.ffs[0].q
+    fault = Fault(FaultModel.DELAY, Target(TargetKind.NET, net), 20,
+                  duration_cycles=3.0, magnitude_ns=30.0)
+    fades.injector.full_download_delays = True
+    full = fades.run_experiment(fault, evaluation.cycles)
+    fades.injector.full_download_delays = False
+    partial = fades.run_experiment(fault, evaluation.cycles)
+    fades.injector.full_download_delays = True
+
+    lines += ["", "Ablation 2b: full vs partial reconfiguration for delays",
+              f"full download : {full.cost.transfer_s:8.3f} s/fault",
+              f"partial frames: {partial.cost.transfer_s:8.3f} s/fault",
+              f"ratio         : {full.cost.transfer_s / partial.cost.transfer_s:8.1f}x"]
+    record_artefact("ablation_delay_mechanisms", "\n".join(lines))
+
+    # Fan-out saturates: it cannot reach large magnitudes.
+    for requested, fanout, reroute in rows:
+        if requested <= 0.5:
+            assert fanout > 0.0
+        if requested >= 10.0:
+            assert fanout < requested / 2
+            assert reroute >= requested * 0.5
+    # Identical behaviour either way, but partial moves far less data.
+    assert full.outcome == partial.outcome
+    assert full.cost.transfer_s > 3 * partial.cost.transfer_s

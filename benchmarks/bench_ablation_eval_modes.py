@@ -1,0 +1,64 @@
+"""Ablation 3 — simulation backends: where does the wall-clock go?
+
+Compares cycles-per-second of the three executable semantics over the same
+8051 design: the binary model simulator (golden runs), the FPGA device
+simulator (FADES experiments) and the four-valued simulator (VFIT).  This
+is the substrate-cost picture behind every campaign above; it also pins
+down that the device simulator — despite executing from configuration
+memory — stays within a small factor of the plain netlist simulator.
+"""
+
+import time
+
+from repro.fpga import Device
+from repro.hdl import FourValuedSim, NetlistSim
+
+
+CYCLES = 400
+
+
+def run_binary(evaluation):
+    sim = NetlistSim(evaluation.model.netlist)
+    sim.reset()
+    sim.run(CYCLES)
+    return sim
+
+
+def run_device(evaluation):
+    device = Device(evaluation.fades.impl)
+    device.reset_system()
+    device.run(CYCLES)
+    return device
+
+
+def run_fourvalued(evaluation):
+    sim = FourValuedSim(evaluation.model.netlist)
+    sim.reset()
+    sim.run(CYCLES)
+    return sim
+
+
+def test_ablation_eval_modes(benchmark, evaluation, record_artefact):
+    timings = {}
+    for name, runner in [("binary netlist", run_binary),
+                         ("fpga device", run_device),
+                         ("four-valued", run_fourvalued)]:
+        start = time.perf_counter()
+        runner(evaluation)
+        timings[name] = time.perf_counter() - start
+    # Benchmark the device path formally (the dominant campaign cost).
+    benchmark.pedantic(run_device, args=(evaluation,),
+                       iterations=1, rounds=3)
+
+    lines = [f"Ablation 3: simulation backends over {CYCLES} cycles "
+             "of the 8051",
+             f"{'backend':<16} {'seconds':>8} {'cycles/s':>10}"]
+    for name, seconds in timings.items():
+        lines.append(f"{name:<16} {seconds:>8.3f} "
+                     f"{CYCLES / seconds:>10.0f}")
+    record_artefact("ablation_eval_modes", "\n".join(lines))
+
+    # The device simulator must stay within ~5x of the raw netlist
+    # simulator, and the four-valued semantics is the slowest backend.
+    assert timings["fpga device"] < 5 * timings["binary netlist"] + 0.5
+    assert timings["four-valued"] >= timings["binary netlist"]

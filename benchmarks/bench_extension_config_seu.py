@@ -1,0 +1,58 @@
+"""Extension bench — configuration-memory SEUs (paper §8 future work).
+
+Three sampling regimes over the 8051 testbed: uniform over the whole
+device, uniform over the occupied region, and targeted on allocated
+routing pass transistors.  The headline number is the *essential bits*
+fraction per regime.
+"""
+
+import random
+
+from repro.core import (config_seu_fault, run_config_seu_campaign,
+                        used_route_bit)
+
+
+def test_extension_config_seu(benchmark, evaluation, bench_count,
+                              record_artefact):
+    count = max(bench_count, 20)
+
+    def run_all():
+        fades = evaluation.fades
+        uniform = run_config_seu_campaign(
+            fades, count, evaluation.cycles, seed=1)
+        occupied = run_config_seu_campaign(
+            fades, count, evaluation.cycles, seed=2, occupied_only=True)
+        rng = random.Random(3)
+        faults = [config_seu_fault(used_route_bit(fades, rng),
+                                   rng.randrange(evaluation.cycles))
+                  for _ in range(count)]
+        targeted = fades.run_faults(faults, evaluation.cycles,
+                                    label="config-seu-targeted")
+        return uniform, occupied, targeted
+
+    uniform, occupied, targeted = benchmark.pedantic(run_all, iterations=1,
+                                                     rounds=1)
+
+    targeted_counts = targeted.counts()
+    lines = ["Extension: configuration-memory SEU campaigns",
+             "",
+             "uniform over whole device:",
+             uniform.render(),
+             "",
+             "uniform over occupied region:",
+             occupied.render(),
+             "",
+             "targeted on allocated routing pass transistors:",
+             str(targeted_counts)]
+    record_artefact("extension_config_seu", "\n".join(lines))
+
+    # Shape: the design occupies a small fraction of the device, so
+    # uniform upsets are overwhelmingly silent; targeted upsets on the
+    # design's own routing are dramatically more dangerous.
+    assert uniform.essential_fraction <= 0.2
+    targeted_essential = 1.0 - targeted_counts.silent / targeted_counts.total
+    assert targeted_essential > uniform.essential_fraction
+    assert targeted_essential >= 0.25
+    # Every upset costs exactly one frame read-modify-write.
+    for experiment in uniform.result.experiments:
+        assert experiment.cost.transactions == 2

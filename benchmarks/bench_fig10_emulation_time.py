@@ -1,0 +1,29 @@
+"""Figure 10 — mean emulation time per experiment class (FADES).
+
+Shape checks from the paper's section 6.2: memory bit-flips cheapest,
+delays most expensive among the standard classes, and the oscillating
+indetermination variant (one reconfiguration per cycle of the fault
+window) more expensive than every fixed-value class.
+"""
+
+from repro.analysis import generate_fig10
+
+
+def test_fig10_emulation_time(benchmark, evaluation, bench_count,
+                              record_artefact):
+    figure = benchmark.pedantic(generate_fig10,
+                                args=(evaluation, bench_count),
+                                iterations=1, rounds=1)
+    record_artefact("fig10_emulation_time", figure.render())
+
+    times = {bar.label: bar.mean_time_s for bar in figure.bars}
+    standard = {label: value for label, value in times.items()
+                if "osc" not in label}
+
+    assert min(standard, key=standard.get) == "bitflip/Memory"
+    assert max(standard, key=standard.get).startswith("delay")
+    # Pulse >=1 cycle costs about twice the sub-cycle pulse.
+    assert times["pulse/Comb(>=1)"] > 1.5 * times["pulse/Comb(<1)"]
+    # Oscillating indetermination beats every fixed-value class
+    # (paper: ~4605 s vs <=2778 s per 3000 faults).
+    assert times["indet/Sequential osc. 11-20"] > max(standard.values())

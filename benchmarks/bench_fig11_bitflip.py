@@ -1,0 +1,29 @@
+"""Figure 11 — bit-flip outcomes: pre-screened registers vs occupied memory.
+
+Paper section 6.3: "the occurrence of a bit-flip in the selected memory
+positions will very likely cause a failure in the system, while one out of
+two bit-flips in any of the targeted registers will have the same effect."
+"""
+
+import pytest
+
+from repro.analysis import generate_fig11
+
+
+def test_fig11_bitflip(benchmark, evaluation, bench_count, record_artefact):
+    figure = benchmark.pedantic(
+        generate_fig11, args=(evaluation, bench_count),
+        kwargs={"screen": True}, iterations=1, rounds=1)
+    record_artefact("fig11_bitflip", figure.render())
+
+    registers, memory = figure.bars
+    # Memory bit-flips in occupied positions very likely cause failures.
+    assert memory.failure >= 50.0
+    # Screened registers fail substantially (paper ~44%), and memory is
+    # the more dangerous target.
+    assert registers.failure > 0.0
+    assert memory.failure >= registers.failure
+    # Percentages are consistent.
+    for bar in figure.bars:
+        assert bar.failure + bar.latent + bar.silent == \
+            pytest.approx(100.0)

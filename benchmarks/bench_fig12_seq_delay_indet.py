@@ -1,0 +1,27 @@
+"""Figure 12 — delay and indetermination into sequential logic.
+
+Shape (paper section 6.3): "In both cases, the percentage of failures in
+the system increases with the duration of the faults... Delays are less
+likely to cause a failure" than indeterminations at short durations.
+"""
+
+from repro.analysis import generate_fig12
+
+
+def test_fig12_seq_delay_indet(benchmark, evaluation, bench_count,
+                               record_artefact):
+    figure = benchmark.pedantic(generate_fig12,
+                                args=(evaluation, bench_count),
+                                iterations=1, rounds=1)
+    record_artefact("fig12_seq_delay_indet", figure.render())
+
+    delay = [bar for bar in figure.bars if bar.label.startswith("delay")]
+    indet = [bar for bar in figure.bars
+             if bar.label.startswith("indetermination")]
+    assert len(delay) == len(indet) == 3
+
+    # Failures grow with duration for both models (band <1 vs band 11-20).
+    assert delay[2].failure >= delay[0].failure
+    assert indet[2].failure >= indet[0].failure
+    # Short delays are the least dangerous class of the figure.
+    assert delay[0].failure <= indet[0].failure + 10.0

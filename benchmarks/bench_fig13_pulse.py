@@ -1,0 +1,28 @@
+"""Figure 13 — pulse outcomes per combinational unit (ALU/MEM/FSM).
+
+Shape (paper section 6.3): failure percentages "slowly increase with the
+duration of the fault", with heavy logic masking overall and the control
+FSM as the most failure-sensitive unit.
+"""
+
+from repro.analysis import generate_fig13
+
+
+def test_fig13_pulse(benchmark, evaluation, bench_count, record_artefact):
+    figure = benchmark.pedantic(generate_fig13,
+                                args=(evaluation, bench_count),
+                                iterations=1, rounds=1)
+    record_artefact("fig13_pulse", figure.render())
+
+    units = {}
+    for bar in figure.bars:
+        unit = bar.label.split()[1]
+        units.setdefault(unit, []).append(bar)
+    assert set(units) == {"ALU", "MEM", "FSM"}
+
+    for unit, bars in units.items():
+        assert len(bars) == 3
+        # Failure percentage grows (or holds) with the duration band.
+        assert bars[2].failure >= bars[0].failure, unit
+        # Sub-cycle pulses are mostly masked.
+        assert bars[0].failure <= 50.0, unit

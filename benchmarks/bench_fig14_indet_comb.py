@@ -1,0 +1,25 @@
+"""Figure 14 — indetermination into combinational logic (ALU/MEM/FSM).
+
+Shape: same slow growth with duration as pulses; strong logic masking
+(the paper attributes FADES's low combinational failure rates to the large
+LUT pool raising "a higher chance of logic masking").
+"""
+
+from repro.analysis import generate_fig14
+
+
+def test_fig14_indet_comb(benchmark, evaluation, bench_count,
+                          record_artefact):
+    figure = benchmark.pedantic(generate_fig14,
+                                args=(evaluation, bench_count),
+                                iterations=1, rounds=1)
+    record_artefact("fig14_indet_comb", figure.render())
+
+    units = {}
+    for bar in figure.bars:
+        units.setdefault(bar.label.split()[1], []).append(bar)
+    assert set(units) == {"ALU", "MEM", "FSM"}
+    for unit, bars in units.items():
+        assert bars[2].failure >= bars[0].failure, unit
+        # Every experiment classified all its faults.
+        assert all(bar.n > 0 for bar in bars)

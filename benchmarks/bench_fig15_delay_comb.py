@@ -1,0 +1,27 @@
+"""Figure 15 — delay into combinational logic (ALU/MEM/FSM).
+
+Shape: failures grow with duration but stay low in absolute terms — the
+correct value eventually propagates, so a delayed combinational line "may
+or may not affect the circuit driven by this cell" (paper 6.3).
+"""
+
+from repro.analysis import generate_fig15
+
+
+def test_fig15_delay_comb(benchmark, evaluation, bench_count,
+                          record_artefact):
+    figure = benchmark.pedantic(generate_fig15,
+                                args=(evaluation, bench_count),
+                                iterations=1, rounds=1)
+    record_artefact("fig15_delay_comb", figure.render())
+
+    units = {}
+    for bar in figure.bars:
+        units.setdefault(bar.label.split()[1], []).append(bar)
+    assert set(units) == {"ALU", "MEM", "FSM"}
+    for unit, bars in units.items():
+        assert len(bars) == 3
+        assert bars[2].failure >= bars[0].failure, unit
+    # Sub-cycle delay faults are almost always absorbed.
+    subcycle = [bars[0].failure for bars in units.values()]
+    assert min(subcycle) <= 25.0

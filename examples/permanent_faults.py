@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Permanent-fault extension: stuck-at, open-line, bridging, stuck-open.
+
+The paper's section 8 names these models as future work for the framework;
+this example exercises the implemented extension on the 8051 testbed and
+contrasts permanent against transient behaviour: a permanent fault injected
+at cycle t corrupts the system for the rest of its life, so late injections
+still fail where an equivalent transient pulse would have been absorbed.
+
+Run:  python examples/permanent_faults.py
+"""
+
+from repro.analysis import Evaluation
+from repro.core import Fault, FaultModel, Target, TargetKind
+
+
+def main() -> None:
+    evaluation = Evaluation()
+    fades = evaluation.fades
+    cycles = evaluation.cycles
+    alu_luts = fades.locmap.luts_in_unit("ALU")
+    print(evaluation.fades.impl.describe())
+    print(f"targeting the ALU ({len(alu_luts)} LUTs); "
+          f"workload {cycles} cycles\n")
+
+    lut = alu_luts[len(alu_luts) // 2]
+    mapped_lut = fades.locmap.mapped.luts[lut]
+    experiments = [
+        ("stuck-at-0 on LUT output",
+         Fault(FaultModel.STUCK_AT, Target(TargetKind.LUT, lut),
+               cycles // 4, value=0)),
+        ("stuck-at-1 on LUT output",
+         Fault(FaultModel.STUCK_AT, Target(TargetKind.LUT, lut),
+               cycles // 4, value=1)),
+        ("open-line on LUT input 0 (floats low)",
+         Fault(FaultModel.OPEN_LINE, Target(TargetKind.LUT, lut, line=0),
+               cycles // 4, value=0)),
+        ("stuck-at-0 on ACC bit 7 (flip-flop)",
+         Fault(FaultModel.STUCK_AT,
+               Target(TargetKind.FF,
+                      fades.locmap.signal("acc").bits[7].index),
+               cycles // 4, value=0)),
+        ("stuck-open on state-machine FF",
+         Fault(FaultModel.STUCK_OPEN,
+               Target(TargetKind.FF,
+                      fades.locmap.signal("state").bits[0].index),
+               cycles // 4)),
+    ]
+    if len(mapped_lut.ins) >= 2:
+        experiments.append((
+            "bridging (short) LUT inputs 0-1",
+            Fault(FaultModel.BRIDGING, Target(TargetKind.LUT, lut, line=0),
+                  cycles // 4,
+                  aux_target=Target(TargetKind.LUT, lut, line=1))))
+
+    print(f"{'permanent fault':<42} {'outcome':<8} {'diverges at'}")
+    for label, fault in experiments:
+        result = fades.run_experiment(fault, cycles)
+        at = result.first_divergence
+        print(f"{label:<42} {result.outcome.value:<8} "
+              f"{at if at is not None else '-'}")
+
+    # Contrast: the same stuck-at location as a 1-cycle transient pulse,
+    # injected very late - usually absorbed.
+    late = cycles - 8
+    transient = Fault(FaultModel.PULSE, Target(TargetKind.LUT, lut), late,
+                      duration_cycles=1.0)
+    permanent = Fault(FaultModel.STUCK_AT, Target(TargetKind.LUT, lut),
+                      late, value=1)
+    print("\nLate injection (cycle {}):".format(late))
+    print("  transient pulse :",
+          fades.run_experiment(transient, cycles).outcome.value)
+    print("  permanent stuck :",
+          fades.run_experiment(permanent, cycles).outcome.value)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Reproduction of *Run-Time Reconfiguration for Emulating Transient Faults
+in VLSI Systems* (de Andres, Ruiz, Gil, Gil - DSN 2006).
+
+The package rebuilds the paper's full stack in Python:
+
+``repro.hdl``
+    HDL modelling substrate: netlist IR, RTL builder, simulators.
+``repro.synth``
+    Synthesis: optimisation, 4-LUT technology mapping, location map.
+``repro.fpga``
+    The generic SRAM FPGA: architecture, implementation flow, a device
+    that executes from configuration memory, the JBits-like RTR API and
+    the host-board transfer-cost model.
+``repro.mc8051``
+    The target VLSI model: an 8051-subset microcontroller + workloads.
+``repro.core``
+    **FADES** - the paper's contribution: RTR fault-emulation mechanisms,
+    campaigns, classification and the emulation-time model.
+``repro.vfit``
+    The VFIT baseline: simulator-command injection on the HDL model.
+``repro.analysis``
+    Regeneration of every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.core import build_fades, FaultLoadSpec, FaultModel
+    from repro.mc8051 import build_mc8051, quick_bubblesort
+
+    workload = quick_bubblesort()
+    fades = build_fades(build_mc8051(workload.rom).netlist)
+    spec = FaultLoadSpec(FaultModel.BITFLIP, "ffs", count=50,
+                         workload_cycles=600)
+    print(fades.run(spec).counts())
+"""
+
+from . import analysis, core, errors, fpga, hdl, mc8051, synth, vfit
+from .core import build_fades
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "errors",
+    "fpga",
+    "hdl",
+    "mc8051",
+    "synth",
+    "vfit",
+    "build_fades",
+    "__version__",
+]

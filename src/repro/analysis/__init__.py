@@ -1,0 +1,56 @@
+"""Analysis & reporting (A): regenerate the paper's tables and figures."""
+
+from .experiments import (Evaluation, PAPER_FAULTS_PER_EXPERIMENT,
+                          PAPER_MODEL_ELEMENTS, PAPER_TABLE2, PAPER_TABLE3,
+                          PAPER_VFIT_MEAN_S, PAPER_WORKLOAD_CYCLES,
+                          default_fault_count)
+from .figures import (Figure, FigureBar, generate_fig10, generate_fig11,
+                      generate_fig12, generate_fig13, generate_fig14,
+                      generate_fig15)
+from .report import full_report
+from .specfile import load_spec, run_spec, run_spec_file
+from .stats import (Proportion, failure_interval, sample_size_for,
+                    wilson)
+from .tables import (ComparisonRow, MechanismRow, MultipleBitflipRow,
+                     SpeedupRow, generate_table1, generate_table2,
+                     generate_table3, generate_table4, render_table1,
+                     render_table2, render_table3, render_table4)
+
+__all__ = [
+    "Evaluation",
+    "PAPER_FAULTS_PER_EXPERIMENT",
+    "PAPER_MODEL_ELEMENTS",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_VFIT_MEAN_S",
+    "PAPER_WORKLOAD_CYCLES",
+    "default_fault_count",
+    "Figure",
+    "FigureBar",
+    "generate_fig10",
+    "generate_fig11",
+    "generate_fig12",
+    "generate_fig13",
+    "generate_fig14",
+    "generate_fig15",
+    "full_report",
+    "load_spec",
+    "run_spec",
+    "run_spec_file",
+    "Proportion",
+    "failure_interval",
+    "sample_size_for",
+    "wilson",
+    "ComparisonRow",
+    "MechanismRow",
+    "MultipleBitflipRow",
+    "SpeedupRow",
+    "generate_table1",
+    "generate_table2",
+    "generate_table3",
+    "generate_table4",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+]

@@ -1,0 +1,40 @@
+"""Full evaluation report: regenerate every table and figure in one call.
+
+``python -m repro.analysis.report`` prints the whole evaluation section —
+useful for refreshing ``EXPERIMENTS.md`` after changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .experiments import Evaluation
+from .figures import (generate_fig10, generate_fig11, generate_fig12,
+                      generate_fig13, generate_fig14, generate_fig15)
+from .tables import (generate_table1, generate_table2, generate_table3,
+                     generate_table4, render_table1, render_table2,
+                     render_table3, render_table4)
+
+
+def full_report(evaluation: Optional[Evaluation] = None,
+                count: Optional[int] = None) -> str:
+    """Regenerate tables 1–4 and figures 10–15 as one text report."""
+    evaluation = evaluation if evaluation is not None else Evaluation()
+    sections = [
+        evaluation.fades.impl.describe(),
+        render_table1(generate_table1(evaluation)),
+        render_table2(generate_table2(evaluation, count)),
+        render_table3(generate_table3(evaluation, count)),
+        render_table4(generate_table4(evaluation)),
+        generate_fig10(evaluation, count).render(),
+        generate_fig11(evaluation, count).render(),
+        generate_fig12(evaluation, count).render(),
+        generate_fig13(evaluation, count).render(),
+        generate_fig14(evaluation, count).render(),
+        generate_fig15(evaluation, count).render(),
+    ]
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":
+    print(full_report())

@@ -1,0 +1,170 @@
+"""Command-line interface: the experiments setup module, headless.
+
+The paper's FADES prototype exposed "a graphical user interface [that]
+allows the user to specify all the parameters required to perform the
+experiments... the length of the experiments, the type of fault to be
+emulated, the fault location and duration, the observation points"
+(section 5, figure 9).  This CLI is that module for the reproduction::
+
+    python -m repro info
+    python -m repro campaign --model pulse --pool luts:ALU --count 20
+    python -m repro campaign --tool vfit --model bitflip --pool ffs
+    python -m repro screen
+    python -m repro seu --count 40 --occupied
+    python -m repro report --count 8
+
+All commands run on the 8051 + Bubblesort testbed; ``--values`` changes
+the array being sorted (and thereby the workload length).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import Evaluation
+from .analysis.report import full_report
+from .core import FaultModel, run_config_seu_campaign
+from .core.faults import BAND_LABELS, DURATION_BANDS
+from .errors import ReproError
+
+
+def _parse_values(text: str) -> tuple:
+    return tuple(int(token, 0) & 0xFF for token in text.split(","))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FADES reproduction: RTR transient-fault emulation")
+    parser.add_argument("--values", type=_parse_values,
+                        default=(9, 3, 12, 5),
+                        help="workload array to sort (comma-separated)")
+    parser.add_argument("--seed", type=int, default=2006)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "info", help="describe the model, implementation and location map")
+
+    campaign = commands.add_parser(
+        "campaign", help="run one fault-injection campaign")
+    campaign.add_argument("--tool", choices=("fades", "vfit"),
+                          default="fades")
+    campaign.add_argument("--model", required=True,
+                          choices=[m.value for m in FaultModel])
+    campaign.add_argument("--pool", default="ffs",
+                          help="location pool (ffs, luts:ALU, memory:iram, "
+                               "nets:seq, ...)")
+    campaign.add_argument("--count", type=int, default=20)
+    campaign.add_argument("--band", type=int, choices=(0, 1, 2), default=1,
+                          help="duration band: 0=<1, 1=1-10, 2=11-20 cycles")
+    campaign.add_argument("--oscillate", action="store_true",
+                          help="re-randomise indeterminations every cycle")
+    campaign.add_argument("--mechanism", default="",
+                          help="pin a mechanism (lsr/gsr, fanout/reroute)")
+
+    commands.add_parser(
+        "screen", help="find the failure-sensitive flip-flops (paper 6.3)")
+
+    seu = commands.add_parser(
+        "seu", help="configuration-memory SEU campaign (extension)")
+    seu.add_argument("--count", type=int, default=40)
+    seu.add_argument("--occupied", action="store_true",
+                     help="restrict upsets to the design's occupied region")
+
+    report = commands.add_parser(
+        "report", help="regenerate every table and figure of the paper")
+    report.add_argument("--count", type=int, default=None,
+                        help="faults per experiment class")
+
+    run_spec = commands.add_parser(
+        "run-spec", help="execute a JSON campaign specification file")
+    run_spec.add_argument("spec", help="path to the spec file")
+    run_spec.add_argument("-o", "--output", default=None,
+                          help="write the JSON report here")
+    return parser
+
+
+def cmd_info(evaluation: Evaluation) -> int:
+    print(f"workload : {evaluation.workload.description} "
+          f"({evaluation.cycles} cycles)")
+    stats = evaluation.model.netlist.stats()
+    print(f"model    : {stats['gates']} gates, {stats['dffs']} FFs, "
+          f"{stats['brams']} memories, depth {stats['depth']}")
+    print(f"implement: {evaluation.fades.impl.describe()}")
+    locmap = evaluation.fades.locmap
+    print(f"locations: {locmap.summary()}")
+    for unit in locmap.units():
+        if not unit:
+            continue
+        print(f"  unit {unit:<5} {len(locmap.luts_in_unit(unit)):>4} LUTs "
+              f"{len(locmap.ffs_in_unit(unit)):>4} FFs")
+    return 0
+
+
+def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
+    model = FaultModel(args.model)
+    spec = evaluation.spec(model, args.pool, band=args.band,
+                           count=args.count, oscillate=args.oscillate,
+                           mechanism=args.mechanism)
+    tool = evaluation.fades if args.tool == "fades" else evaluation.vfit
+    result = tool.run(spec, seed=args.seed)
+    print(f"{args.tool.upper()} | {model.value} @ {args.pool} | "
+          f"duration {BAND_LABELS[args.band]} cycles "
+          f"({DURATION_BANDS[args.band][0]:g}-"
+          f"{DURATION_BANDS[args.band][1]:g}) | n={args.count}")
+    print(result.counts())
+    print(f"mean emulated time: {result.mean_emulation_s:.3f} s/fault "
+          f"(campaign total {result.total_emulation_s:.1f} s)")
+    return 0
+
+
+def cmd_screen(evaluation: Evaluation) -> int:
+    sensitive = evaluation.fades.screen_sensitive_ffs(evaluation.cycles)
+    total = len(evaluation.fades.locmap.mapped.ffs)
+    print(f"{len(sensitive)} of {total} flip-flops are failure-sensitive "
+          "for this workload (paper found 81 of 637):")
+    names = [evaluation.fades.locmap.mapped.ffs[i].name for i in sensitive]
+    print("  " + ", ".join(names))
+    return 0
+
+
+def cmd_seu(evaluation: Evaluation, args: argparse.Namespace) -> int:
+    report = run_config_seu_campaign(
+        evaluation.fades, args.count, evaluation.cycles, seed=args.seed,
+        occupied_only=args.occupied)
+    print(report.render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    evaluation = Evaluation(values=args.values, seed=args.seed)
+    try:
+        if args.command == "info":
+            return cmd_info(evaluation)
+        if args.command == "campaign":
+            return cmd_campaign(evaluation, args)
+        if args.command == "screen":
+            return cmd_screen(evaluation)
+        if args.command == "seu":
+            return cmd_seu(evaluation, args)
+        if args.command == "report":
+            print(full_report(evaluation, count=args.count))
+            return 0
+        if args.command == "run-spec":
+            import json
+            from .analysis.specfile import run_spec_file
+            report = run_spec_file(args.spec, args.output)
+            print(json.dumps(report, indent=2))
+            return 0
+    except (ReproError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""Campaign orchestration: the experiment loop of the paper's figure 1.
+
+Each experiment follows the figure exactly::
+
+    reset system to initial state
+    workload execution            (until the fault injection time)
+    FPGA reconfiguration          (fault injection purposes)
+    workload execution            (until the fault duration expires)
+    FPGA reconfiguration          (fault removal purposes)
+    workload execution            (until the experiment end time)
+    observation -> analysis of results
+
+The observation process records the primary outputs every cycle plus the
+final architectural state; classification against the golden run follows
+:mod:`repro.core.classify`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..fpga.board import Board
+from ..fpga.device import Device
+from ..fpga.implement import Implementation
+from ..fpga.jbits import JBits
+from ..hdl.trace import Trace
+from ..synth.locmap import LocationMap
+from .classify import Outcome, OutcomeCounts, classify
+from .config import FaultLoadSpec, generate_faultload, pool_size
+from .faults import Fault
+from .injector import FadesInjector
+from .timing_model import EmulationTimeModel, ExperimentCost, FadesTimingParams
+
+
+@dataclass
+class ExperimentResult:
+    """One fault-injection experiment's record."""
+
+    fault: Fault
+    outcome: Outcome
+    cost: ExperimentCost
+    first_divergence: Optional[int] = None
+
+
+@dataclass
+class CampaignResult:
+    """All experiments of one campaign (one experiment class)."""
+
+    spec_label: str
+    golden: Trace
+    experiments: List[ExperimentResult] = field(default_factory=list)
+    mean_emulation_s: float = 0.0
+    total_emulation_s: float = 0.0
+
+    def counts(self) -> OutcomeCounts:
+        """Failure/Latent/Silent tally."""
+        counts = OutcomeCounts()
+        for experiment in self.experiments:
+            counts.add(experiment.outcome)
+        return counts
+
+    def failure_percent(self) -> float:
+        """Percentage of failures (the paper's headline metric)."""
+        return self.counts().percent(Outcome.FAILURE)
+
+
+class FadesCampaign:
+    """Run fault-emulation campaigns on one implemented design."""
+
+    def __init__(self, impl: Implementation, locmap: LocationMap,
+                 board: Optional[Board] = None, seed: int = 0,
+                 timing_params: FadesTimingParams = FadesTimingParams(),
+                 full_download_delays: bool = True,
+                 inputs: Optional[Dict[str, int]] = None,
+                 checkpoint_interval: int = 0):
+        self.impl = impl
+        self.locmap = locmap
+        self.inputs = dict(inputs or {})
+        #: Fast-forward optimisation: with a positive interval, the golden
+        #: run stores device snapshots every N cycles and experiments
+        #: restore the nearest one at or before the injection instant
+        #: instead of re-executing the fault-free prefix.  Purely a host
+        #: optimisation — emulated time is unaffected (the real board
+        #: would execute the prefix at full FPGA speed anyway).
+        self.checkpoint_interval = checkpoint_interval
+        self._checkpoints: Dict[int, Dict[int, object]] = {}
+        self.device = Device(impl)
+        locmap.attach_placement(impl.placement)
+        self.board = board if board is not None else Board()
+        self.jbits = JBits(self.device, self.board)
+        self.rng = random.Random(seed)
+        self.injector = FadesInjector(
+            self.jbits, rng=random.Random(seed ^ 0xFADE5),
+            full_download_delays=full_download_delays)
+        self.time_model = EmulationTimeModel(self.board, timing_params)
+        self._golden: Dict[int, Trace] = {}
+
+    # ------------------------------------------------------------------
+    def golden_run(self, cycles: int) -> Trace:
+        """Fault-free reference trace (cached per experiment length)."""
+        cached = self._golden.get(cycles)
+        if cached is not None:
+            return cached
+        device = self.device
+        device.reset_system()
+        trace = Trace(tuple(device.mapped.outputs))
+        interval = self.checkpoint_interval
+        checkpoints: Dict[int, object] = {}
+        for cycle in range(cycles):
+            if interval and cycle % interval == 0:
+                checkpoints[cycle] = device.save_state()
+            trace.record(device.step(self.inputs if cycle == 0 else None))
+        trace.final_state = device.state_snapshot()
+        trace.cycles = cycles
+        self._golden[cycles] = trace
+        if interval:
+            self._checkpoints[cycles] = checkpoints
+        return trace
+
+    # ------------------------------------------------------------------
+    def run_experiment(self, fault: Fault, cycles: int,
+                       pool: int = 0) -> ExperimentResult:
+        """One experiment of figure 1; device ends restored to golden."""
+        device = self.device
+        marker = self.time_model.begin_experiment()
+        self.board.set_label(fault.model.value)
+
+        injection = self.injector.prepare(fault)
+        if fault.duration_cycles >= 1.0:
+            window = fault.whole_cycles
+        else:
+            window = 1 if fault.straddles_edge else 0
+        start = min(fault.start_cycle, max(0, cycles - 1))
+
+        # Fast-forward over the fault-free prefix when a golden checkpoint
+        # at or before the injection instant is available.
+        first_cycle = 0
+        trace = Trace(tuple(device.mapped.outputs))
+        checkpoints = self._checkpoints.get(cycles)
+        golden_cached = self._golden.get(cycles)
+        if checkpoints and golden_cached is not None and start > 0:
+            usable = [c for c in checkpoints if c <= start]
+            if usable:
+                first_cycle = max(usable)
+                device.load_state(checkpoints[first_cycle])
+                trace.samples = list(golden_cached.samples[:first_cycle])
+            else:
+                device.reset_system()
+        else:
+            device.reset_system()
+
+        removed = False
+        injected = False
+        for cycle in range(first_cycle, cycles):
+            if cycle == start:
+                injection.inject()
+                injected = True
+                if window == 0 and fault.model.transient:
+                    injection.remove()
+                    removed = True
+            if injected and not removed and start <= cycle < start + window:
+                injection.tick(cycle - start)
+            trace.record(device.step(self.inputs if cycle == 0 else None))
+            if (injected and not removed and fault.model.transient
+                    and cycle >= start + window - 1):
+                injection.remove()
+                removed = True
+        if injected and not removed and fault.model.transient:
+            injection.remove()
+        trace.final_state = device.state_snapshot()
+        trace.cycles = cycles
+
+        # Restore the golden image for persistent faults (bit-flips and
+        # permanent models leave frames modified) *before* any golden run
+        # can execute on this device.
+        self._restore_configuration()
+        golden = self.golden_run(cycles)
+        cost = self.time_model.end_experiment(marker, cycles, pool)
+        outcome = classify(golden, trace)
+        return ExperimentResult(
+            fault=fault, outcome=outcome, cost=cost,
+            first_divergence=trace.first_divergence(golden))
+
+    def _restore_configuration(self) -> None:
+        golden = self.impl.golden_bitstream
+        for addr in self.device.config.diff_frames(golden):
+            # Host-side cleanup between experiments; not part of the
+            # emulated per-fault cost (the paper reloads state, not the
+            # full file, between experiments).
+            self.device.write_frame(addr, golden.get_frame(addr))
+
+    # ------------------------------------------------------------------
+    def run(self, spec: FaultLoadSpec, seed: Optional[int] = None
+            ) -> CampaignResult:
+        """Generate and run a whole faultload; returns the aggregate."""
+        faults = generate_faultload(
+            spec, self.locmap, seed=self.rng.randrange(2**31)
+            if seed is None else seed,
+            routed_nets=self.impl.routing.is_routed)
+        return self.run_faults(faults, spec.workload_cycles,
+                               label=spec.label(),
+                               pool=pool_size(spec, self.locmap))
+
+    def run_faults(self, faults: Sequence[Fault], cycles: int,
+                   label: str = "", pool: int = 0) -> CampaignResult:
+        """Run a pre-generated fault list."""
+        golden = self.golden_run(cycles)
+        result = CampaignResult(spec_label=label, golden=golden)
+        start_index = len(self.time_model.costs)
+        for fault in faults:
+            result.experiments.append(
+                self.run_experiment(fault, cycles, pool=pool))
+        costs = self.time_model.costs[start_index:]
+        result.total_emulation_s = sum(cost.total_s for cost in costs)
+        if costs:
+            result.mean_emulation_s = result.total_emulation_s / len(costs)
+        return result
+
+    # ------------------------------------------------------------------
+    def screen_sensitive_ffs(self, cycles: int, samples_per_ff: int = 2,
+                             seed: int = 7) -> List[int]:
+        """Pre-screening experiment of section 6.3: find the flip-flops
+        "susceptible of causing a failure when executing the selected
+        workload" — the paper found 81 of 637 eligible.
+        """
+        rng = random.Random(seed)
+        sensitive: List[int] = []
+        from .faults import FaultModel, Target, TargetKind
+        for ff_index in range(len(self.locmap.mapped.ffs)):
+            for _ in range(samples_per_ff):
+                fault = Fault(
+                    model=FaultModel.BITFLIP,
+                    target=Target(TargetKind.FF, ff_index),
+                    start_cycle=rng.randrange(cycles),
+                )
+                outcome = self.run_experiment(fault, cycles).outcome
+                if outcome is Outcome.FAILURE:
+                    sensitive.append(ff_index)
+                    break
+        return sensitive

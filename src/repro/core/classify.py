@@ -1,0 +1,81 @@
+"""Result classification: Failure / Latent / Silent.
+
+Paper, section 5 (results-analysis module): "Observations taken from each
+experiment are compared to a Golden Run (fault free) trace to classify
+fault effects into: Failure (the traces present different outputs), Latent
+(the traces show the same outputs, but the system is in a different final
+state) and Silent (the traces and the final state of the system are
+identical)."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from ..hdl.trace import Trace
+
+
+class Outcome(enum.Enum):
+    """Effect classification of one fault-injection experiment."""
+
+    FAILURE = "failure"
+    LATENT = "latent"
+    SILENT = "silent"
+
+
+def classify(golden: Trace, observed: Trace) -> Outcome:
+    """Classify one experiment against the golden run."""
+    if not observed.same_outputs(golden):
+        return Outcome.FAILURE
+    if not observed.same_state(golden):
+        return Outcome.LATENT
+    return Outcome.SILENT
+
+
+@dataclass
+class OutcomeCounts:
+    """Aggregated campaign outcomes (one bar of the paper's figures)."""
+
+    failure: int = 0
+    latent: int = 0
+    silent: int = 0
+
+    def add(self, outcome: Outcome) -> None:
+        if outcome is Outcome.FAILURE:
+            self.failure += 1
+        elif outcome is Outcome.LATENT:
+            self.latent += 1
+        else:
+            self.silent += 1
+
+    @property
+    def total(self) -> int:
+        return self.failure + self.latent + self.silent
+
+    def percent(self, outcome: Outcome) -> float:
+        """Percentage of experiments with the given outcome."""
+        if self.total == 0:
+            return 0.0
+        count = {Outcome.FAILURE: self.failure, Outcome.LATENT: self.latent,
+                 Outcome.SILENT: self.silent}[outcome]
+        return 100.0 * count / self.total
+
+    def as_dict(self) -> Dict[str, float]:
+        """Percentages keyed by outcome name (figure data points)."""
+        return {outcome.value: self.percent(outcome) for outcome in Outcome}
+
+    def __str__(self) -> str:
+        return (f"failure {self.percent(Outcome.FAILURE):5.1f}% | "
+                f"latent {self.percent(Outcome.LATENT):5.1f}% | "
+                f"silent {self.percent(Outcome.SILENT):5.1f}% "
+                f"(n={self.total})")
+
+
+def tally(golden: Trace, traces: Iterable[Trace]) -> OutcomeCounts:
+    """Classify a batch of traces against one golden run."""
+    counts = OutcomeCounts()
+    for trace in traces:
+        counts.add(classify(golden, trace))
+    return counts

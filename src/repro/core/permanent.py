@@ -1,0 +1,161 @@
+"""Permanent fault models — the paper's announced extension.
+
+Section 8: "In the near future, we envisage the extension of this framework
+to cover a set of typical permanent faults that have not been used for
+fault emulation of VLSI systems yet, such as short, open-line, bridging and
+stuck-open faults."  This module implements that extension with the same
+RTR machinery:
+
+* **stuck-at** — a LUT line (output or input) or a flip-flop frozen at a
+  logic level: LUT truth-table rewrite, or LSR held with a fixed srval;
+* **open-line** — a floating LUT input; the disconnected line decays to a
+  weak level, so the LUT is rewritten with that input treated as constant;
+* **bridging** — a short between two input lines of a function generator;
+  the truth table is rewritten so the victim line follows the aggressor
+  (wired-short), or their AND/OR for resistive bridges;
+* **stuck-open** — a flip-flop whose pass transistor no longer conducts:
+  it retains its current value forever (state capture + LSR hold).
+
+Permanent faults are injected once and never removed within the
+experiment; between experiments the campaign restores the golden
+configuration, modelling the repair of the device under test.
+"""
+
+from __future__ import annotations
+
+from ..errors import InjectionError
+from ..fpga.bitstream import CbConfig
+from .faults import Fault, FaultModel, TargetKind
+from .injector import FadesInjector, Injection, stuck_lut_line
+
+
+def bridge_lut_lines(tt: int, victim: int, aggressor: int,
+                     mode: str = "short") -> int:
+    """Rewrite a truth table with input *victim* bridged to *aggressor*.
+
+    ``mode`` selects the electrical model: ``'short'`` (victim follows
+    aggressor), ``'and'`` (wired-AND) or ``'or'`` (wired-OR).
+    """
+    if victim == aggressor:
+        raise InjectionError("bridging needs two distinct lines")
+    out = 0
+    for index in range(16):
+        v = (index >> victim) & 1
+        a = (index >> aggressor) & 1
+        if mode == "short":
+            effective = a
+        elif mode == "and":
+            effective = v & a
+        elif mode == "or":
+            effective = v | a
+        else:
+            raise InjectionError(f"unknown bridging mode {mode!r}")
+        faulty_index = ((index & ~(1 << victim))
+                        | (effective << victim))
+        if (tt >> faulty_index) & 1:
+            out |= 1 << index
+    return out
+
+
+class _LutStuckAt(Injection):
+    """Stuck-at (or open-line) on a LUT line via truth-table rewrite."""
+
+    def __init__(self, injector: FadesInjector, fault: Fault):
+        super().__init__(fault)
+        self.injector = injector
+        self.row, self.col = injector.lut_site(fault.target.index)
+
+    def inject(self) -> None:
+        jbits = self.injector.jbits
+        current = jbits.read_cb(self.row, self.col)
+        value = self.fault.value if self.fault.value is not None else 0
+        faulty = CbConfig(**{**current.__dict__})
+        faulty.tt = stuck_lut_line(current.tt, self.fault.target.line, value)
+        jbits.write_cb(self.row, self.col, faulty)
+
+
+class _FfStuckAt(Injection):
+    """Flip-flop frozen at a level through a permanently held LSR."""
+
+    def __init__(self, injector: FadesInjector, fault: Fault):
+        super().__init__(fault)
+        self.injector = injector
+        self.row, self.col = injector.ff_site(fault.target.index)
+
+    def inject(self) -> None:
+        jbits = self.injector.jbits
+        golden = self.injector.golden_cb(self.row, self.col)
+        value = self.fault.value if self.fault.value is not None else 0
+        forced = CbConfig(**{**golden.__dict__})
+        forced.srval = value
+        forced.invert_lsr = True
+        jbits.write_cb(self.row, self.col, forced)
+
+
+class _FfStuckOpen(Injection):
+    """Stuck-open flip-flop: retains its current value forever.
+
+    The state is captured from the column state frame and then held with
+    the LSR line — the stored charge can no longer be overwritten.
+    """
+
+    def __init__(self, injector: FadesInjector, fault: Fault):
+        super().__init__(fault)
+        self.injector = injector
+        self.row, self.col = injector.ff_site(fault.target.index)
+
+    def inject(self) -> None:
+        jbits = self.injector.jbits
+        state = jbits.read_ff_state(self.row, self.col)
+        golden = self.injector.golden_cb(self.row, self.col)
+        forced = CbConfig(**{**golden.__dict__})
+        forced.srval = state
+        forced.invert_lsr = True
+        jbits.write_cb(self.row, self.col, forced)
+
+
+class _LutBridging(Injection):
+    """Short between two input lines of one function generator."""
+
+    def __init__(self, injector: FadesInjector, fault: Fault):
+        super().__init__(fault)
+        self.injector = injector
+        if fault.aux_target is None:
+            raise InjectionError("bridging faults need aux_target")
+        if fault.aux_target.index != fault.target.index:
+            raise InjectionError(
+                "bridging is supported between lines of one LUT")
+        self.row, self.col = injector.lut_site(fault.target.index)
+        self.mode = fault.mechanism or "short"
+
+    def inject(self) -> None:
+        jbits = self.injector.jbits
+        current = jbits.read_cb(self.row, self.col)
+        faulty = CbConfig(**{**current.__dict__})
+        faulty.tt = bridge_lut_lines(current.tt, self.fault.target.line,
+                                     self.fault.aux_target.line, self.mode)
+        jbits.write_cb(self.row, self.col, faulty)
+
+
+def prepare_permanent(injector: FadesInjector, fault: Fault) -> Injection:
+    """Build the injection for a permanent fault model."""
+    model = fault.model
+    if model is FaultModel.STUCK_AT:
+        if fault.target.kind is TargetKind.LUT:
+            return _LutStuckAt(injector, fault)
+        if fault.target.kind is TargetKind.FF:
+            return _FfStuckAt(injector, fault)
+        raise InjectionError(
+            f"stuck-at cannot target {fault.target.kind.value}")
+    if model is FaultModel.OPEN_LINE:
+        if fault.target.kind is TargetKind.LUT and fault.target.line >= 0:
+            # The floating input decays to a weak level (value, default 0).
+            return _LutStuckAt(injector, fault)
+        raise InjectionError("open-line targets a LUT input line")
+    if model is FaultModel.BRIDGING:
+        return _LutBridging(injector, fault)
+    if model is FaultModel.STUCK_OPEN:
+        if fault.target.kind is TargetKind.FF:
+            return _FfStuckOpen(injector, fault)
+        raise InjectionError("stuck-open targets a flip-flop")
+    raise InjectionError(f"{model.value} is not a permanent model")

@@ -1,0 +1,56 @@
+"""Result aggregation helpers shared by benches and the analysis package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .campaign import CampaignResult
+from .classify import Outcome
+
+
+@dataclass
+class ResultRow:
+    """One row of a paper-style results table."""
+
+    fault_model: str
+    location: str
+    duration_band: str
+    failure_pct: float
+    latent_pct: float
+    silent_pct: float
+    mean_emulation_s: float
+    n_faults: int
+
+    def render(self) -> str:
+        return (f"{self.fault_model:<16} {self.location:<14} "
+                f"{self.duration_band:<6} "
+                f"F {self.failure_pct:5.1f}%  L {self.latent_pct:5.1f}%  "
+                f"S {self.silent_pct:5.1f}%  "
+                f"t={self.mean_emulation_s:7.3f}s  n={self.n_faults}")
+
+
+def row_from_campaign(result: CampaignResult, fault_model: str,
+                      location: str, duration_band: str) -> ResultRow:
+    """Flatten one campaign into a table row."""
+    counts = result.counts()
+    return ResultRow(
+        fault_model=fault_model,
+        location=location,
+        duration_band=duration_band,
+        failure_pct=counts.percent(Outcome.FAILURE),
+        latent_pct=counts.percent(Outcome.LATENT),
+        silent_pct=counts.percent(Outcome.SILENT),
+        mean_emulation_s=result.mean_emulation_s,
+        n_faults=counts.total,
+    )
+
+
+def render_table(title: str, rows: List[ResultRow],
+                 note: str = "") -> str:
+    """Plain-text rendering of a results table, ready for stdout."""
+    lines = [title, "=" * len(title)]
+    lines.extend(row.render() for row in rows)
+    if note:
+        lines.append(note)
+    return "\n".join(lines)

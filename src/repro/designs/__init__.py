@@ -1,0 +1,26 @@
+"""Reusable demonstration designs for fault-injection studies.
+
+Beyond the paper's 8051 target (:mod:`repro.mc8051`), these smaller
+systems cover complementary structures: counters and LFSRs (state
+chains), a FIR filter (wide arithmetic datapaths), a UART transmitter
+(protocol timing) and a TMR voter (fault masking).
+"""
+
+from .basic import (counter, gray_counter, lfsr, lfsr_reference,
+                    majority_voter, shift_register, tmr_counter)
+from .fir import fir_filter, fir_reference
+from .uart import uart_reference, uart_tx
+
+__all__ = [
+    "counter",
+    "gray_counter",
+    "lfsr",
+    "lfsr_reference",
+    "majority_voter",
+    "shift_register",
+    "tmr_counter",
+    "fir_filter",
+    "fir_reference",
+    "uart_reference",
+    "uart_tx",
+]

@@ -1,0 +1,158 @@
+"""Small reusable synchronous designs.
+
+These serve three roles: fault-injection targets for examples and tests
+beyond the 8051, reference material for users writing their own models
+with the RTL builder, and stress cases for the synthesis/implementation
+flow (feedback loops, wide reductions, one-hot state machines).
+
+Every builder returns an elaborated
+:class:`~repro.hdl.netlist.Netlist` ready for
+:func:`repro.core.build_fades`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ElaborationError
+from ..hdl.netlist import Netlist
+from ..hdl.rtl import Rtl
+
+
+def counter(width: int = 8, with_enable: bool = True) -> Netlist:
+    """A wrap-around up-counter with terminal count.
+
+    Inputs: ``en`` (when *with_enable*).  Outputs: ``value``, ``tc``.
+    """
+    rtl = Rtl(f"counter{width}")
+    with rtl.unit("CTR"):
+        reg = rtl.register("count", width)
+        if with_enable:
+            en = rtl.input("en", 1)
+            reg.drive(rtl.inc(reg.q), en=en)
+        else:
+            reg.drive(rtl.inc(reg.q))
+        rtl.output("value", reg.q)
+        rtl.output("tc", rtl.reduce_and(reg.q))
+    return rtl.build()
+
+
+def gray_counter(width: int = 8) -> Netlist:
+    """A Gray-code counter: exactly one output bit toggles per cycle.
+
+    A classic fault-detection target — any single upset breaks the
+    one-bit-per-step invariant observably.
+    """
+    rtl = Rtl(f"gray{width}")
+    with rtl.unit("CTR"):
+        binary = rtl.register("binary", width)
+        binary.drive(rtl.inc(binary.q))
+        shifted = rtl.cat(rtl.bits(binary.q, 1, width - 1),
+                          rtl.const(0, 1))
+        gray = rtl.signal("gray", rtl.xor_(binary.q, shifted))
+    rtl.output("gray_out", gray)
+    return rtl.build()
+
+
+def lfsr(width: int = 16, taps: Sequence[int] = (16, 15, 13, 4)) -> Netlist:
+    """A Fibonacci LFSR (default: the maximal-length x^16+x^15+x^13+x^4+1).
+
+    Outputs: ``state`` and the serial ``bit``.
+    """
+    if max(taps) > width:
+        raise ElaborationError(f"tap {max(taps)} exceeds width {width}")
+    rtl = Rtl(f"lfsr{width}")
+    with rtl.unit("LFSR"):
+        state = rtl.register("state", width, init=1)
+        feedback = rtl.bit(state.q, taps[0] - 1)
+        for tap in taps[1:]:
+            feedback = rtl.xor_(feedback, rtl.bit(state.q, tap - 1))
+        nxt = rtl.cat(feedback, rtl.bits(state.q, 0, width - 1))
+        state.drive(nxt)
+    rtl.output("state_out", state.q)
+    rtl.output("bit", rtl.bit(state.q, width - 1))
+    return rtl.build()
+
+
+def lfsr_reference(width: int, taps: Sequence[int], steps: int,
+                   seed: int = 1) -> List[int]:
+    """Python oracle for :func:`lfsr`: state after each step."""
+    state = seed
+    out = []
+    for _ in range(steps):
+        feedback = 0
+        for tap in taps:
+            feedback ^= (state >> (tap - 1)) & 1
+        state = ((state << 1) | feedback) & ((1 << width) - 1)
+        out.append(state)
+    return out
+
+
+def shift_register(depth: int = 8, width: int = 4) -> Netlist:
+    """A *depth*-stage shift register of *width*-bit words.
+
+    Inputs: ``din``, ``shift``.  Outputs: ``dout`` (last stage),
+    ``taps`` (all stages concatenated).
+    """
+    rtl = Rtl(f"shift{depth}x{width}")
+    din = rtl.input("din", width)
+    shift = rtl.input("shift", 1)
+    with rtl.unit("SR"):
+        stages = [rtl.register(f"stage{i}", width) for i in range(depth)]
+        previous = din
+        for stage in stages:
+            stage.drive(previous, en=shift)
+            previous = stage.q
+    rtl.output("dout", stages[-1].q)
+    rtl.output("taps", rtl.cat(*[s.q for s in stages]))
+    return rtl.build()
+
+
+def tmr_counter(width: int = 4) -> Netlist:
+    """Three redundant counters behind a majority voter.
+
+    The textbook fault-tolerant design: a transient fault confined to one
+    replica is outvoted, so most single-location injections classify as
+    Silent (or Latent, if the corrupted replica never re-converges) —
+    making this the canonical masking benchmark for the campaign tooling.
+    Replicas are tagged ``R0``/``R1``/``R2``; the voter is ``VOTER``.
+    """
+    rtl = Rtl(f"tmr_counter{width}")
+    en = rtl.input("en", 1)
+    replicas = []
+    for index in range(3):
+        with rtl.unit(f"R{index}"):
+            reg = rtl.register(f"count{index}", width)
+            reg.drive(rtl.inc(reg.q), en=en)
+            replicas.append(reg.q)
+    with rtl.unit("VOTER"):
+        a, b, c = replicas
+        voted = rtl.or_(rtl.or_(rtl.and_(a, b), rtl.and_(b, c)),
+                        rtl.and_(a, c))
+    rtl.output("value", voted)
+    return rtl.build()
+
+
+def majority_voter(width: int = 8) -> Netlist:
+    """A triple-modular-redundancy voter over three input words.
+
+    The canonical fault-tolerant structure: any single-input corruption is
+    outvoted, which makes it a good subject for studying fault *masking*
+    (most injected faults in one replica are Silent at the output).
+    """
+    rtl = Rtl(f"tmr{width}")
+    a = rtl.input("a", width)
+    b = rtl.input("b", width)
+    c = rtl.input("c", width)
+    with rtl.unit("VOTER"):
+        ab = rtl.and_(a, b)
+        bc = rtl.and_(b, c)
+        ac = rtl.and_(a, c)
+        voted = rtl.or_(rtl.or_(ab, bc), ac)
+        reg = rtl.register("voted", width)
+        reg.drive(voted)
+        disagree = rtl.or_(rtl.reduce_or(rtl.xor_(a, b)),
+                           rtl.reduce_or(rtl.xor_(b, c)))
+    rtl.output("out", reg.q)
+    rtl.output("disagree", disagree)
+    return rtl.build()

@@ -1,0 +1,79 @@
+"""A constant-coefficient FIR filter — a datapath-heavy injection target.
+
+Four registered taps and a shift-add multiply-accumulate (coefficients are
+compile-time constants, so each product is a sum of shifted tap values).
+The accumulator is wide enough never to overflow, making the output an
+exact oracle-checkable convolution.
+
+The design complements the control-heavy 8051: faults here land in long
+carry chains and wide adders rather than decoders, which shifts the
+Failure/Latent balance — arithmetic errors almost always reach the output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ElaborationError
+from ..hdl.netlist import Netlist
+from ..hdl.rtl import Rtl, Word
+
+
+def _const_multiply(rtl: Rtl, value: Word, coefficient: int,
+                    out_width: int) -> Word:
+    """value * coefficient as a sum of shifted addends (coefficient >= 0)."""
+    acc = rtl.const(0, out_width)
+    for bit in range(coefficient.bit_length()):
+        if (coefficient >> bit) & 1:
+            shifted = rtl.cat(rtl.const(0, bit), value) if bit else value
+            padded = rtl.zext(shifted, out_width)
+            acc, _carry = rtl.add(acc, padded)
+    return acc
+
+
+def fir_filter(coefficients: Sequence[int] = (1, 3, 3, 1),
+               sample_width: int = 8) -> Netlist:
+    """Elaborate the FIR; inputs ``sample``/``valid``, output ``result``.
+
+    ``result`` is the full-precision convolution of the last
+    ``len(coefficients)`` accepted samples with the coefficient vector.
+    """
+    if not coefficients or any(c < 0 for c in coefficients):
+        raise ElaborationError("coefficients must be non-negative")
+    acc_width = sample_width + max(1, sum(coefficients)).bit_length()
+    rtl = Rtl("fir")
+    sample = rtl.input("sample", sample_width)
+    valid = rtl.input("valid", 1)
+    with rtl.unit("TAPS"):
+        taps = [rtl.register(f"tap{i}", sample_width)
+                for i in range(len(coefficients))]
+        previous = sample
+        for tap in taps:
+            tap.drive(previous, en=valid)
+            previous = tap.q
+    with rtl.unit("MAC"):
+        total = rtl.const(0, acc_width)
+        for tap, coefficient in zip(taps, coefficients):
+            product = _const_multiply(rtl, tap.q, coefficient, acc_width)
+            total, _carry = rtl.add(total, product)
+        result = rtl.register("result", acc_width)
+        result.drive(total, en=valid)
+    rtl.output("result_out", result.q)
+    return rtl.build()
+
+
+def fir_reference(coefficients: Sequence[int], samples: Sequence[int],
+                  sample_width: int = 8) -> List[int]:
+    """Python oracle: the value of ``result`` after each accepted sample.
+
+    Matches the hardware's two-stage timing: on the edge that accepts
+    sample *k*, the MAC still sees the previous tap contents, so the
+    registered result reflects samples up to *k-1*.
+    """
+    mask = (1 << sample_width) - 1
+    taps = [0] * len(coefficients)
+    out = []
+    for value in samples:
+        out.append(sum(t * c for t, c in zip(taps, coefficients)))
+        taps = [value & mask] + taps[:-1]
+    return out

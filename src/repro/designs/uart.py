@@ -1,0 +1,96 @@
+"""A UART transmitter (8N1) — a protocol-timing injection target.
+
+Start bit, eight data bits LSB-first, stop bit, with a programmable baud
+divider.  Faults here corrupt *when* bits appear as much as *which* bits —
+delay faults on the divider and bit-counter are particularly interesting,
+since a single missed edge shifts the whole frame.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ElaborationError
+from ..hdl.netlist import Netlist
+from ..hdl.rtl import Rtl
+
+# FSM states.
+ST_IDLE = 0
+ST_START = 1
+ST_DATA = 2
+ST_STOP = 3
+
+
+def uart_tx(divider: int = 4) -> Netlist:
+    """Elaborate the transmitter.
+
+    Inputs: ``data`` (8), ``send`` (1).  Outputs: ``txd`` (serial line,
+    idle high) and ``busy``.  One bit lasts *divider* clock cycles.
+    """
+    if divider < 1:
+        raise ElaborationError("divider must be at least 1")
+    div_width = max(1, (divider - 1).bit_length())
+    rtl = Rtl("uart_tx")
+    data = rtl.input("data", 8)
+    send = rtl.input("send", 1)
+
+    with rtl.unit("FSM"):
+        state = rtl.register("state", 2, init=ST_IDLE)
+        st_idle = rtl.eq(state.q, rtl.const(ST_IDLE, 2))
+        st_start = rtl.eq(state.q, rtl.const(ST_START, 2))
+        st_data = rtl.eq(state.q, rtl.const(ST_DATA, 2))
+        st_stop = rtl.eq(state.q, rtl.const(ST_STOP, 2))
+
+    with rtl.unit("BAUD"):
+        tick_counter = rtl.register("tick", div_width)
+        tick_last = rtl.eq(tick_counter.q, rtl.const(divider - 1, div_width))
+        tick_next = rtl.mux(tick_last, rtl.inc(tick_counter.q),
+                            rtl.const(0, div_width))
+        tick_counter.drive(rtl.mux(st_idle, tick_next,
+                                   rtl.const(0, div_width)))
+
+    with rtl.unit("DATA"):
+        shifter = rtl.register("shifter", 8)
+        bit_count = rtl.register("bit_count", 3)
+        advance = rtl.and_(st_data, tick_last)
+        shifted = rtl.cat(rtl.bits(shifter.q, 1, 7), rtl.const(0, 1))
+        shifter_next = rtl.mux(rtl.and_(st_idle, send), shifted, data)
+        shifter.drive(shifter_next,
+                      en=rtl.or_(rtl.and_(st_idle, send), advance))
+        last_bit = rtl.eq(bit_count.q, rtl.const(7, 3))
+        bit_count.drive(rtl.mux(st_data, rtl.const(0, 3),
+                                rtl.mux(advance, bit_count.q,
+                                        rtl.inc(bit_count.q))))
+
+    with rtl.unit("FSM"):
+        from_idle = rtl.mux(send, rtl.const(ST_IDLE, 2),
+                            rtl.const(ST_START, 2))
+        from_start = rtl.mux(tick_last, rtl.const(ST_START, 2),
+                             rtl.const(ST_DATA, 2))
+        from_data = rtl.mux(rtl.and_(tick_last, last_bit),
+                            rtl.const(ST_DATA, 2), rtl.const(ST_STOP, 2))
+        from_stop = rtl.mux(tick_last, rtl.const(ST_STOP, 2),
+                            rtl.const(ST_IDLE, 2))
+        nxt = rtl.select(state.q, [from_idle, from_start, from_data,
+                                   from_stop])
+        state.drive(nxt)
+
+    with rtl.unit("LINE"):
+        txd = rtl.mux(st_start, rtl.const(1, 1), rtl.const(0, 1))
+        txd = rtl.mux(st_data, txd, rtl.bit(shifter.q, 0))
+    rtl.output("txd", txd)
+    rtl.output("busy", rtl.not_(st_idle))
+    return rtl.build()
+
+
+def uart_reference(byte: int, divider: int = 4) -> List[int]:
+    """Oracle: the txd waveform of one frame, one entry per clock cycle.
+
+    Starts at the first cycle of the start bit: *divider* cycles of 0,
+    8 x *divider* data-bit cycles (LSB first), *divider* cycles of 1.
+    """
+    wave: List[int] = [0] * divider
+    for bit in range(8):
+        wave += [(byte >> bit) & 1] * divider
+    wave += [1] * divider
+    return wave

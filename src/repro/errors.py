@@ -1,0 +1,72 @@
+"""Exception hierarchy for the FADES reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers embedding the library can catch one base class.  Sub-hierarchies
+mirror the subsystem structure described in ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` package."""
+
+
+class HdlError(ReproError):
+    """Problem in an HDL model description or its simulation."""
+
+
+class ElaborationError(HdlError):
+    """The RTL builder was used inconsistently (width mismatch, undriven
+    register, duplicate name, ...)."""
+
+
+class SimulationError(HdlError):
+    """The simulator was driven into an invalid state (unknown signal,
+    stepping a finalized simulation, ...)."""
+
+
+class SynthesisError(ReproError):
+    """Synthesis, optimisation or technology mapping failed."""
+
+
+class FpgaError(ReproError):
+    """Problem in the FPGA substrate."""
+
+
+class PlacementError(FpgaError):
+    """The design does not fit the device or a resource was double-booked."""
+
+
+class RoutingError(FpgaError):
+    """A net could not be routed through the programmable matrices."""
+
+
+class BitstreamError(FpgaError):
+    """Malformed configuration data or out-of-range frame access."""
+
+
+class ConfigurationError(FpgaError):
+    """The device rejected a (re)configuration request."""
+
+
+class InjectionError(ReproError):
+    """A fault could not be injected (bad location, unsupported model,
+    inconsistent campaign specification, ...)."""
+
+
+class LocationError(InjectionError):
+    """The fault-location process could not map an HDL element onto FPGA
+    resources (e.g. the element was optimised away)."""
+
+
+class UnsupportedFaultError(InjectionError):
+    """The requested fault model is not supported by the selected tool.
+
+    VFIT, for instance, cannot inject delay faults in models that do not
+    expose delays through generic clauses (paper, section 6.3).
+    """
+
+
+class WorkloadError(ReproError):
+    """Problem assembling or running a workload program."""

@@ -1,0 +1,45 @@
+"""Generic FPGA substrate (S3): architecture, implementation flow, device.
+
+The package models the paper's generic SRAM-FPGA (section 3) end to end:
+configurable blocks, programmable matrices, embedded memory blocks, a
+frame-oriented configuration memory, an implementation flow (place, route,
+time, generate bitstream), a device simulator that executes *from* its
+configuration, and a JBits-like run-time reconfiguration API with
+board-level transfer accounting.
+"""
+
+from .architecture import (Architecture, FrameAddr, MemBlockGeometry,
+                           demo_device, device_for, virtex1000_like)
+from .bitstream import Bitstream, CbConfig
+from .board import Board, BoardParams
+from .device import Device
+from .implement import Implementation, generate_bitstream, implement
+from .jbits import JBits
+from .placement import Placement, place
+from .routing import NetRoute, RoutingDb, route
+from .timing import TimingAnalysis, TimingParams
+
+__all__ = [
+    "Architecture",
+    "CbConfig",
+    "FrameAddr",
+    "MemBlockGeometry",
+    "demo_device",
+    "device_for",
+    "virtex1000_like",
+    "Bitstream",
+    "Board",
+    "BoardParams",
+    "Device",
+    "Implementation",
+    "generate_bitstream",
+    "implement",
+    "JBits",
+    "Placement",
+    "place",
+    "NetRoute",
+    "RoutingDb",
+    "route",
+    "TimingAnalysis",
+    "TimingParams",
+]

@@ -1,0 +1,146 @@
+"""Placement: assign mapped resources to configurable blocks.
+
+Each configurable block hosts one LUT and one flip-flop, with a single
+output selected by ``LUTorFFMux`` (paper, figure 2).  The placer therefore
+*packs* a flip-flop together with its driving LUT only when that LUT has no
+other reader — otherwise the LUT output would be unobservable.  Everything
+else receives its own CB; embedded memory blocks go to the device's
+dedicated block sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import PlacementError
+from ..synth.mapped import MappedNetlist
+from .architecture import Architecture
+
+Site = Tuple[int, int]
+
+
+@dataclass
+class CbSite:
+    """Occupancy of one configurable block."""
+
+    lut: Optional[int] = None   # index into mapped.luts
+    ff: Optional[int] = None    # index into mapped.ffs
+    packed: bool = False        # FF's D comes from the local LUT
+
+    @property
+    def empty(self) -> bool:
+        """Whether the CB hosts no user logic."""
+        return self.lut is None and self.ff is None
+
+
+@dataclass
+class Placement:
+    """Result of placing a mapped netlist on a device."""
+
+    arch: Architecture
+    mapped: MappedNetlist
+    sites: Dict[Site, CbSite] = field(default_factory=dict)
+    site_of_lut: Dict[int, Site] = field(default_factory=dict)
+    site_of_ff: Dict[int, Site] = field(default_factory=dict)
+    block_of_bram: Dict[int, int] = field(default_factory=dict)
+    input_site: Dict[str, Site] = field(default_factory=dict)
+    output_site: Dict[str, Site] = field(default_factory=dict)
+
+    def bram_site(self, block: int) -> Site:
+        """Grid-coordinate proxy of a memory block (for distance costs)."""
+        rows = self.arch.rows
+        spread = rows * block // max(1, self.arch.mem_blocks)
+        return (spread % rows, self.arch.cols - 1)
+
+    def utilisation(self) -> Dict[str, float]:
+        """Occupied fraction of each resource class."""
+        return {
+            "cbs": len(self.sites) / self.arch.n_cbs,
+            "mem_blocks": (len(self.block_of_bram)
+                           / max(1, self.arch.mem_blocks)),
+        }
+
+
+def place(mapped: MappedNetlist, arch: Architecture) -> Placement:
+    """Place *mapped* onto *arch*; raise :class:`PlacementError` if unfit.
+
+    The fill order is column-major from column 0, which keeps related logic
+    (emitted together by the builder) in neighbouring columns and gives the
+    timing model plausible locality.
+    """
+    stats = mapped.stats()
+    if stats["luts"] > arch.n_cbs or stats["ffs"] > arch.n_cbs:
+        raise PlacementError(
+            f"design needs {stats['luts']} LUTs / {stats['ffs']} FFs; "
+            f"device {arch.name} offers {arch.n_cbs} CBs")
+    if stats["brams"] > arch.mem_blocks:
+        raise PlacementError(
+            f"design needs {stats['brams']} memory blocks; device has "
+            f"{arch.mem_blocks}")
+    geometry = arch.mem_geometry
+    for bram in mapped.brams:
+        if bram.depth > geometry.depth or bram.width > geometry.width:
+            raise PlacementError(
+                f"memory {bram.name!r} ({bram.depth}x{bram.width}) exceeds "
+                f"the block geometry {geometry.depth}x{geometry.width}")
+
+    placement = Placement(arch=arch, mapped=mapped)
+    lut_fanout: Dict[int, int] = {}
+    for lut in mapped.luts:
+        for net in lut.ins:
+            lut_fanout[net] = lut_fanout.get(net, 0) + 1
+    for ff in mapped.ffs:
+        lut_fanout[ff.d] = lut_fanout.get(ff.d, 0) + 1
+    for bram in mapped.brams:
+        for net in (*bram.raddr, *bram.waddr, *bram.wdata, bram.we):
+            lut_fanout[net] = lut_fanout.get(net, 0) + 1
+    for nets in mapped.outputs.values():
+        for net in nets:
+            lut_fanout[net] = lut_fanout.get(net, 0) + 1
+
+    lut_of_net = mapped.lut_of_net()
+    site_iter = arch.sites()
+
+    def next_site() -> Site:
+        try:
+            return next(site_iter)
+        except StopIteration:
+            raise PlacementError(
+                f"device {arch.name} ran out of CB sites") from None
+
+    # Pack FF with its driving LUT when the LUT feeds only that FF.
+    packed_luts: Dict[int, int] = {}  # lut index -> ff index
+    for ff_index, ff in enumerate(mapped.ffs):
+        lut_index = lut_of_net.get(ff.d)
+        if lut_index is None:
+            continue
+        if lut_fanout.get(ff.d, 0) == 1 and lut_index not in packed_luts:
+            packed_luts[lut_index] = ff_index
+
+    placed_ffs = set()
+    for lut_index, lut in enumerate(mapped.luts):
+        site = next_site()
+        ff_index = packed_luts.get(lut_index)
+        cb = CbSite(lut=lut_index, ff=ff_index, packed=ff_index is not None)
+        placement.sites[site] = cb
+        placement.site_of_lut[lut_index] = site
+        if ff_index is not None:
+            placement.site_of_ff[ff_index] = site
+            placed_ffs.add(ff_index)
+    for ff_index, ff in enumerate(mapped.ffs):
+        if ff_index in placed_ffs:
+            continue
+        site = next_site()
+        placement.sites[site] = CbSite(ff=ff_index, packed=False)
+        placement.site_of_ff[ff_index] = site
+
+    for bram_index in range(len(mapped.brams)):
+        placement.block_of_bram[bram_index] = bram_index
+
+    # I/O pseudo-sites on the west (inputs) and east (outputs) edges.
+    for index, name in enumerate(mapped.inputs):
+        placement.input_site[name] = (index % arch.rows, -1)
+    for index, name in enumerate(mapped.outputs):
+        placement.output_site[name] = (index % arch.rows, arch.cols)
+    return placement

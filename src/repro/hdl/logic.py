@@ -1,0 +1,164 @@
+"""Four-valued logic for HDL-style simulation.
+
+The paper's baseline tool (VFIT) injects *indetermination* faults by forcing
+VHDL ``'X'`` values onto signals, so the model-level simulator must propagate
+unknowns.  The FPGA device simulator, on the other hand, is strictly binary:
+the paper argues (section 4.4) that an undetermined analogue level always
+resolves to a well-defined — although uncertain — logic value once it crosses
+a buffer, which is why FADES emulates indeterminations with a *randomiser*.
+
+Values are small integers so that they can be packed into flat lists and
+evaluated in tight loops:
+
+====== ======= ==========================================
+value  symbol  meaning
+====== ======= ==========================================
+``0``  ``'0'`` logic low
+``1``  ``'1'`` logic high
+``2``  ``'X'`` unknown / undetermined
+``3``  ``'Z'`` high impedance (treated as unknown inputs)
+====== ======= ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+ZERO = 0
+ONE = 1
+X = 2
+Z = 3
+
+_CHARS = "01XZ"
+_FROM_CHAR = {"0": ZERO, "1": ONE, "X": X, "x": X, "Z": Z, "z": Z}
+
+
+def to_char(value: int) -> str:
+    """Return the canonical character for a logic *value* (``0/1/X/Z``)."""
+    return _CHARS[value]
+
+
+def from_char(char: str) -> int:
+    """Parse a logic character (case-insensitive) into its integer value."""
+    try:
+        return _FROM_CHAR[char]
+    except KeyError:
+        raise ValueError(f"not a logic character: {char!r}") from None
+
+
+def is_known(value: int) -> bool:
+    """Return ``True`` for a well-defined binary value (``0`` or ``1``)."""
+    return value == ZERO or value == ONE
+
+
+def not4(a: int) -> int:
+    """Four-valued NOT: unknown inputs stay unknown."""
+    if a == ZERO:
+        return ONE
+    if a == ONE:
+        return ZERO
+    return X
+
+
+def and4(a: int, b: int) -> int:
+    """Four-valued AND: ``0`` dominates; otherwise unknowns poison."""
+    if a == ZERO or b == ZERO:
+        return ZERO
+    if a == ONE and b == ONE:
+        return ONE
+    return X
+
+
+def or4(a: int, b: int) -> int:
+    """Four-valued OR: ``1`` dominates; otherwise unknowns poison."""
+    if a == ONE or b == ONE:
+        return ONE
+    if a == ZERO and b == ZERO:
+        return ZERO
+    return X
+
+
+def xor4(a: int, b: int) -> int:
+    """Four-valued XOR: any unknown input makes the output unknown."""
+    if is_known(a) and is_known(b):
+        return a ^ b
+    return X
+
+
+def mux4(sel: int, if0: int, if1: int) -> int:
+    """Four-valued 2:1 multiplexer.
+
+    When the select line is unknown the output is only known if both data
+    inputs agree — the standard optimistic (VHDL-like) behaviour.
+    """
+    if sel == ZERO:
+        return if0
+    if sel == ONE:
+        return if1
+    if if0 == if1 and is_known(if0):
+        return if0
+    return X
+
+
+def resolve(a: int, b: int) -> int:
+    """Resolution of two drivers on the same net (wired logic).
+
+    ``Z`` yields to the other driver; conflicting strong drivers produce
+    ``X``.  Only used by the tri-state helpers in the RTL builder.
+    """
+    if a == Z:
+        return b
+    if b == Z:
+        return a
+    if a == b:
+        return a
+    return X
+
+
+def word_to_int(bits: Sequence[int]) -> int:
+    """Pack a little-endian bit sequence into an integer.
+
+    Raises :class:`ValueError` if any bit is not binary; callers that may
+    see ``X`` should use :func:`word_to_int_or_none`.
+    """
+    value = 0
+    for index, bit in enumerate(bits):
+        if bit == ONE:
+            value |= 1 << index
+        elif bit != ZERO:
+            raise ValueError(f"bit {index} is {to_char(bit)}, not binary")
+    return value
+
+
+def word_to_int_or_none(bits: Sequence[int]):
+    """Pack bits into an integer, or return ``None`` if any bit is unknown."""
+    value = 0
+    for index, bit in enumerate(bits):
+        if bit == ONE:
+            value |= 1 << index
+        elif bit != ZERO:
+            return None
+    return value
+
+
+def int_to_word(value: int, width: int) -> List[int]:
+    """Unpack the *width* low bits of *value* into a little-endian list."""
+    if value < 0:
+        value &= (1 << width) - 1
+    return [(value >> index) & 1 for index in range(width)]
+
+
+def word_to_str(bits: Sequence[int]) -> str:
+    """Render a word MSB-first, e.g. ``[1, 0, X]`` -> ``"X01"``."""
+    return "".join(to_char(bit) for bit in reversed(bits))
+
+
+def parity(value: int, width: int = 8) -> int:
+    """Even-ones parity bit of the low *width* bits of *value* (8051 ``P``)."""
+    ones = bin(value & ((1 << width) - 1)).count("1")
+    return ones & 1
+
+
+def any_unknown(bits: Iterable[int]) -> bool:
+    """Return ``True`` if any bit of the word is ``X`` or ``Z``."""
+    return any(not is_known(bit) for bit in bits)

@@ -1,0 +1,543 @@
+"""Word-level RTL builder.
+
+HDL models in this reproduction are described *structurally* in Python: a
+:class:`Rtl` object offers word-level operators (bitwise logic, adders,
+multiplexers, truth tables, registers, memories) and immediately elaborates
+them into the gate-level :class:`~repro.hdl.netlist.Netlist` IR.  The builder
+therefore plays the role of the VHDL front-end + elaborator of the paper's
+tool chain, and it records the *HDL-visible* names (ports, registers,
+exposed signals) that both VFIT and the FADES fault-location process target.
+
+Design notes
+------------
+* Words are little-endian tuples of nets (:class:`Word`); bit 0 is the LSB.
+* Every operator performs local constant folding, so descriptions may freely
+  use constants without bloating the netlist; the global optimiser in
+  :mod:`repro.synth.optimize` does the rest.
+* ``unit(...)`` tags emitted logic with a named functional unit (ALU, MEM,
+  FSM, ...); the paper's experiments partition fault locations by unit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ElaborationError
+from .netlist import CONST0, CONST1, Bram, Dff, Netlist
+
+
+class Word:
+    """An immutable little-endian vector of nets."""
+
+    __slots__ = ("nets",)
+
+    def __init__(self, nets: Sequence[int]):
+        self.nets = tuple(nets)
+
+    @property
+    def width(self) -> int:
+        """Number of bits in the word."""
+        return len(self.nets)
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def __iter__(self):
+        return iter(self.nets)
+
+    def __getitem__(self, index) -> "Word":
+        if isinstance(index, slice):
+            return Word(self.nets[index])
+        return Word((self.nets[index],))
+
+    def __repr__(self) -> str:
+        return f"Word({list(self.nets)})"
+
+
+WordLike = Union[Word, int]
+
+
+class Reg:
+    """A register: a bank of flip-flops with a deferred next-value."""
+
+    def __init__(self, rtl: "Rtl", name: str, dffs: List[Dff]):
+        self._rtl = rtl
+        self.name = name
+        self.dffs = dffs
+        self.q = Word([dff.q for dff in dffs])
+        self._driven = False
+
+    @property
+    def width(self) -> int:
+        """Number of bits stored by the register."""
+        return len(self.dffs)
+
+    def drive(self, value: WordLike, en: Optional[WordLike] = None) -> None:
+        """Connect the next-cycle value, optionally gated by enable *en*.
+
+        With an enable, the register recirculates its current value when
+        *en* is low — the standard clock-enable idiom, lowered to a mux so
+        the whole design stays single-clock.
+        """
+        if self._driven:
+            raise ElaborationError(f"register {self.name!r} driven twice")
+        rtl = self._rtl
+        word = rtl._coerce(value, self.width)
+        if en is not None:
+            word = rtl.mux(rtl._coerce(en, 1), self.q, word)
+        for dff, net in zip(self.dffs, word.nets):
+            dff.d = net
+        self._driven = True
+
+
+class Mem:
+    """A synchronous memory with one read and one write port.
+
+    The read port is *registered*: ``rdata`` shows the contents of the
+    address presented on the previous cycle (read-first with respect to a
+    same-cycle write).  Create the memory early, use :attr:`rdata` anywhere,
+    then :meth:`connect` the port nets once.
+    """
+
+    def __init__(self, rtl: "Rtl", bram: Bram):
+        self._rtl = rtl
+        self.bram = bram
+        self.rdata = Word(bram.rdata)
+        self._connected = False
+
+    @property
+    def name(self) -> str:
+        """The HDL-visible name of the memory block."""
+        return self.bram.name
+
+    def connect(self, raddr: WordLike, waddr: WordLike = 0,
+                wdata: WordLike = 0, we: WordLike = 0) -> None:
+        """Wire the address/data/enable ports of the memory."""
+        if self._connected:
+            raise ElaborationError(f"memory {self.name!r} connected twice")
+        rtl = self._rtl
+        bits = self.bram.addr_bits
+        self.bram.raddr = tuple(rtl._coerce(raddr, bits).nets)
+        self.bram.waddr = tuple(rtl._coerce(waddr, bits).nets)
+        self.bram.wdata = tuple(rtl._coerce(wdata, self.bram.width).nets)
+        self.bram.we = rtl._coerce(we, 1).nets[0]
+        if self.bram.rom and self.bram.we != CONST0:
+            raise ElaborationError(f"ROM {self.name!r} cannot be written")
+        self._connected = True
+
+
+class Rtl:
+    """Builder/elaborator for a synchronous word-level design."""
+
+    def __init__(self, name: str = "top"):
+        self.netlist = Netlist(name)
+        self._regs: List[Reg] = []
+        self._mems: List[Mem] = []
+        self._units: List[str] = []
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # units and names
+    # ------------------------------------------------------------------
+    @contextmanager
+    def unit(self, name: str):
+        """Tag logic emitted inside the block as belonging to unit *name*."""
+        self._units.append(name)
+        try:
+            yield
+        finally:
+            self._units.pop()
+
+    @property
+    def current_unit(self) -> str:
+        """The innermost active unit tag (empty string at top level)."""
+        return self._units[-1] if self._units else ""
+
+    # ------------------------------------------------------------------
+    # ports, constants, names
+    # ------------------------------------------------------------------
+    def input(self, name: str, width: int = 1) -> Word:
+        """Declare a primary input and return its word."""
+        nets = self.netlist.new_nets(width)
+        self.netlist.add_input(name, nets)
+        self.netlist.add_name(name, nets, self.current_unit)
+        return Word(nets)
+
+    def output(self, name: str, value: WordLike, width: int = 0) -> Word:
+        """Declare a primary output driven by *value*."""
+        word = self._coerce(value, width or None)
+        self.netlist.add_output(name, list(word.nets))
+        if name not in self.netlist.names:
+            self.netlist.add_name(name, list(word.nets), self.current_unit)
+        return word
+
+    def const(self, value: int, width: int) -> Word:
+        """A constant word built from the reserved constant nets."""
+        if value < 0:
+            value &= (1 << width) - 1
+        if value >> width:
+            raise ElaborationError(f"constant {value} exceeds {width} bits")
+        return Word([CONST1 if (value >> i) & 1 else CONST0
+                     for i in range(width)])
+
+    def signal(self, name: str, value: Word) -> Word:
+        """Expose *value* as an HDL-visible (injectable) signal name."""
+        self.netlist.add_name(name, list(value.nets), self.current_unit)
+        return value
+
+    def _coerce(self, value: WordLike, width: Optional[int]) -> Word:
+        """Accept ints as constants; check/apply the expected width."""
+        if isinstance(value, int):
+            if width is None:
+                raise ElaborationError(
+                    "integer operand needs an explicit width here")
+            return self.const(value, width)
+        if width is not None and value.width != width:
+            raise ElaborationError(
+                f"width mismatch: expected {width}, got {value.width}")
+        return value
+
+    # ------------------------------------------------------------------
+    # gate emission with local constant folding
+    # ------------------------------------------------------------------
+    def _gate(self, kind: str, *ins: int) -> int:
+        folded = self._fold(kind, ins)
+        if folded is not None:
+            return folded
+        return self.netlist.add_gate(kind, ins, self.current_unit)
+
+    @staticmethod
+    def _fold(kind: str, ins: Tuple[int, ...]) -> Optional[int]:
+        """Local constant folding; returns an existing net or ``None``."""
+        if kind == "BUF":
+            return ins[0]
+        if kind == "NOT":
+            if ins[0] == CONST0:
+                return CONST1
+            if ins[0] == CONST1:
+                return CONST0
+            return None
+        if kind == "AND":
+            a, b = ins
+            if CONST0 in ins:
+                return CONST0
+            if a == CONST1:
+                return b
+            if b == CONST1:
+                return a
+            if a == b:
+                return a
+            return None
+        if kind == "OR":
+            a, b = ins
+            if CONST1 in ins:
+                return CONST1
+            if a == CONST0:
+                return b
+            if b == CONST0:
+                return a
+            if a == b:
+                return a
+            return None
+        if kind == "XOR":
+            a, b = ins
+            if a == b:
+                return CONST0
+            if a == CONST0:
+                return b
+            if b == CONST0:
+                return a
+            return None
+        if kind == "MUX":
+            sel, if0, if1 = ins
+            if sel == CONST0 or if0 == if1:
+                return if0
+            if sel == CONST1:
+                return if1
+            return None
+        return None
+
+    def _not(self, a: int) -> int:
+        return self._gate("NOT", a)
+
+    def _and(self, a: int, b: int) -> int:
+        return self._gate("AND", a, b)
+
+    def _or(self, a: int, b: int) -> int:
+        return self._gate("OR", a, b)
+
+    def _xor(self, a: int, b: int) -> int:
+        return self._gate("XOR", a, b)
+
+    def _mux(self, sel: int, if0: int, if1: int) -> int:
+        folded = self._fold("MUX", (sel, if0, if1))
+        if folded is not None:
+            return folded
+        if if0 == CONST0 and if1 == CONST1:
+            return sel
+        if if0 == CONST1 and if1 == CONST0:
+            return self._not(sel)
+        if if1 == CONST0:
+            return self._and(self._not(sel), if0)
+        if if0 == CONST0:
+            return self._and(sel, if1)
+        return self.netlist.add_gate("MUX", (sel, if0, if1),
+                                     self.current_unit)
+
+    # ------------------------------------------------------------------
+    # bitwise operators
+    # ------------------------------------------------------------------
+    def not_(self, a: Word) -> Word:
+        """Bitwise complement."""
+        return Word([self._not(n) for n in a.nets])
+
+    def _bitwise(self, op, a: Word, b: WordLike) -> Word:
+        b = self._coerce(b, a.width)
+        return Word([op(x, y) for x, y in zip(a.nets, b.nets)])
+
+    def and_(self, a: Word, b: WordLike) -> Word:
+        """Bitwise AND."""
+        return self._bitwise(self._and, a, b)
+
+    def or_(self, a: Word, b: WordLike) -> Word:
+        """Bitwise OR."""
+        return self._bitwise(self._or, a, b)
+
+    def xor_(self, a: Word, b: WordLike) -> Word:
+        """Bitwise XOR."""
+        return self._bitwise(self._xor, a, b)
+
+    def mux(self, sel: WordLike, if0: Word, if1: WordLike) -> Word:
+        """2:1 word multiplexer: *if0* when *sel* is low, *if1* when high."""
+        sel = self._coerce(sel, 1)
+        if1 = self._coerce(if1, if0.width)
+        s = sel.nets[0]
+        return Word([self._mux(s, x, y)
+                     for x, y in zip(if0.nets, if1.nets)])
+
+    def select(self, sel: Word, choices: Sequence[WordLike],
+               default: Optional[WordLike] = None) -> Word:
+        """N-way selection: ``choices[int(sel)]`` as a balanced mux tree.
+
+        Missing entries (when ``len(choices) < 2**sel.width``) fall back to
+        *default*, which is then mandatory.
+        """
+        total = 1 << sel.width
+        width = None
+        for choice in choices:
+            if isinstance(choice, Word):
+                width = choice.width
+                break
+        if width is None and isinstance(default, Word):
+            width = default.width
+        if width is None:
+            raise ElaborationError("select needs at least one Word choice")
+        padded: List[Word] = []
+        for index in range(total):
+            if index < len(choices):
+                padded.append(self._coerce(choices[index], width))
+            else:
+                if default is None:
+                    raise ElaborationError(
+                        f"select covers {len(choices)}/{total} values and "
+                        "no default was given")
+                padded.append(self._coerce(default, width))
+        level = padded
+        bit = 0
+        while len(level) > 1:
+            sel_net = sel.nets[bit]
+            level = [self.mux(Word([sel_net]), level[i], level[i + 1])
+                     for i in range(0, len(level), 2)]
+            bit += 1
+        return level[0]
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def add(self, a: Word, b: WordLike,
+            cin: WordLike = 0) -> Tuple[Word, Word]:
+        """Ripple-carry addition; returns ``(sum, carry_out)``."""
+        b = self._coerce(b, a.width)
+        carry = self._coerce(cin, 1).nets[0]
+        sums: List[int] = []
+        for x, y in zip(a.nets, b.nets):
+            p = self._xor(x, y)
+            sums.append(self._xor(p, carry))
+            carry = self._or(self._and(x, y), self._and(p, carry))
+        return Word(sums), Word([carry])
+
+    def sub(self, a: Word, b: WordLike,
+            bin_: WordLike = 0) -> Tuple[Word, Word]:
+        """Subtraction ``a - b - bin``; returns ``(difference, borrow_out)``.
+
+        Implemented as ``a + ~b + ~bin`` with the carry-out complemented,
+        which is exactly how the 8051 ALU computes ``SUBB``.
+        """
+        b = self._coerce(b, a.width)
+        bin_word = self._coerce(bin_, 1)
+        cin = Word([self._not(bin_word.nets[0])])
+        diff, carry = self.add(a, self.not_(b), cin)
+        return diff, Word([self._not(carry.nets[0])])
+
+    def inc(self, a: Word) -> Word:
+        """Increment modulo ``2**width``."""
+        result, _ = self.add(a, self.const(0, a.width), cin=1)
+        return result
+
+    def dec(self, a: Word) -> Word:
+        """Decrement modulo ``2**width``."""
+        result, _ = self.sub(a, self.const(0, a.width), bin_=1)
+        return result
+
+    # ------------------------------------------------------------------
+    # reductions and comparisons
+    # ------------------------------------------------------------------
+    def reduce_or(self, a: Word) -> Word:
+        """OR-reduce a word to one bit."""
+        return Word([self._reduce(self._or, a.nets, CONST0)])
+
+    def reduce_and(self, a: Word) -> Word:
+        """AND-reduce a word to one bit."""
+        return Word([self._reduce(self._and, a.nets, CONST1)])
+
+    def reduce_xor(self, a: Word) -> Word:
+        """XOR-reduce a word to one bit (even parity)."""
+        return Word([self._reduce(self._xor, a.nets, CONST0)])
+
+    def _reduce(self, op, nets: Sequence[int], empty: int) -> int:
+        """Balanced-tree reduction to minimise logic depth."""
+        if not nets:
+            return empty
+        work = list(nets)
+        while len(work) > 1:
+            nxt = []
+            for i in range(0, len(work) - 1, 2):
+                nxt.append(op(work[i], work[i + 1]))
+            if len(work) % 2:
+                nxt.append(work[-1])
+            work = nxt
+        return work[0]
+
+    def is_zero(self, a: Word) -> Word:
+        """One bit, high iff the word is all zeroes."""
+        return Word([self._not(self.reduce_or(a).nets[0])])
+
+    def eq(self, a: Word, b: WordLike) -> Word:
+        """One bit, high iff the two words are equal."""
+        return self.is_zero(self.xor_(a, b))
+
+    # ------------------------------------------------------------------
+    # structural helpers
+    # ------------------------------------------------------------------
+    def cat(self, *words: WordLike) -> Word:
+        """Concatenate words, first argument in the least-significant bits."""
+        nets: List[int] = []
+        for word in words:
+            if isinstance(word, int):
+                raise ElaborationError("cat needs Word operands")
+            nets.extend(word.nets)
+        return Word(nets)
+
+    def bits(self, a: Word, lo: int, width: int) -> Word:
+        """Slice *width* bits starting at bit *lo*."""
+        if lo + width > a.width:
+            raise ElaborationError(
+                f"slice [{lo}:{lo + width}] out of a {a.width}-bit word")
+        return Word(a.nets[lo:lo + width])
+
+    def bit(self, a: Word, index: int) -> Word:
+        """Extract a single bit as a 1-bit word."""
+        return self.bits(a, index, 1)
+
+    def zext(self, a: Word, width: int) -> Word:
+        """Zero-extend to *width* bits."""
+        if width < a.width:
+            raise ElaborationError("zext cannot shrink a word")
+        return Word(list(a.nets) + [CONST0] * (width - a.width))
+
+    def repeat(self, a: Word, count: int) -> Word:
+        """Concatenate *count* copies of a word (usually 1-bit fan-out)."""
+        return Word(list(a.nets) * count)
+
+    # ------------------------------------------------------------------
+    # truth tables
+    # ------------------------------------------------------------------
+    def table(self, inputs: Word, out_width: int,
+              fn: Callable[[int], int]) -> Word:
+        """Arbitrary combinational function as a shared Shannon mux tree.
+
+        ``fn(index)`` must return the ``out_width``-bit output for every
+        input value ``index`` in ``range(2**inputs.width)``.  Sub-functions
+        are memoised, so the decoder tables of the 8051 control unit share
+        their common cofactors instead of exploding.
+        """
+        total = 1 << inputs.width
+        rows = [fn(i) & ((1 << out_width) - 1) for i in range(total)]
+        cache: Dict[Tuple[int, ...], int] = {}
+        out_nets = [self._table_bit(tuple((row >> bit) & 1 for row in rows),
+                                    inputs.nets, cache)
+                    for bit in range(out_width)]
+        return Word(out_nets)
+
+    def _table_bit(self, vec: Tuple[int, ...], vars_: Tuple[int, ...],
+                   cache: Dict[Tuple[int, ...], int]) -> int:
+        if all(v == vec[0] for v in vec):
+            return CONST1 if vec[0] else CONST0
+        cached = cache.get(vec)
+        if cached is not None:
+            return cached
+        half = len(vec) // 2
+        # Split on the most significant remaining variable.
+        low = self._table_bit(vec[:half], vars_[:-1], cache)
+        high = self._table_bit(vec[half:], vars_[:-1], cache)
+        net = self._mux(vars_[-1], low, high)
+        cache[vec] = net
+        return net
+
+    # ------------------------------------------------------------------
+    # sequential elements
+    # ------------------------------------------------------------------
+    def register(self, name: str, width: int, init: int = 0) -> Reg:
+        """Create a named register of *width* bits with reset value *init*."""
+        unit = self.current_unit
+        dffs = [self.netlist.add_dff(init=(init >> i) & 1,
+                                     name=f"{name}[{i}]", unit=unit)
+                for i in range(width)]
+        reg = Reg(self, name, dffs)
+        self.netlist.add_name(name, [d.q for d in dffs], unit)
+        self._regs.append(reg)
+        return reg
+
+    def memory(self, name: str, depth: int, width: int,
+               init: Optional[Sequence[int]] = None,
+               rom: bool = False) -> Mem:
+        """Create a synchronous memory block (RAM, or ROM when *rom*)."""
+        contents = list(init or [])
+        if len(contents) > depth:
+            raise ElaborationError(
+                f"memory {name!r}: {len(contents)} init words > depth {depth}")
+        contents += [0] * (depth - len(contents))
+        rdata = self.netlist.new_nets(width)
+        bram = Bram(name=name, depth=depth, width=width,
+                    rdata=tuple(rdata), init=contents, rom=rom,
+                    unit=self.current_unit)
+        self.netlist.add_bram(bram)
+        self.netlist.add_name(name, list(rdata), self.current_unit)
+        mem = Mem(self, bram)
+        self._mems.append(mem)
+        return mem
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+    def build(self) -> Netlist:
+        """Finalise the design: default-connect, check, and return the IR."""
+        if self._built:
+            raise ElaborationError("build() called twice")
+        for mem in self._mems:
+            if not mem._connected:
+                raise ElaborationError(f"memory {mem.name!r} never connected")
+        self.netlist.check()
+        self._built = True
+        return self.netlist

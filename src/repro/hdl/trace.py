@@ -1,0 +1,88 @@
+"""Execution traces: the observation process of a fault-injection run.
+
+The paper's observation process (section 2) stores "a trace of the outputs
+and state of the system" for later analysis; the results-analysis module
+then compares each faulty trace against the fault-free *golden run* to
+classify the experiment outcome.  :class:`Trace` is that artefact: an
+ordered record of sampled output values plus a final-state snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Trace:
+    """Recorded observations of one run.
+
+    Attributes
+    ----------
+    output_names:
+        The observed outputs, in sampling order.
+    samples:
+        One tuple per observed cycle; entries may be ``None`` when the
+        value was unknown (four-valued simulation under VFIT).
+    final_state:
+        Hashable snapshot of the architectural state (flip-flops and
+        memories) at the end of the run.
+    cycles:
+        Number of clock cycles executed (trace length may be shorter when
+        sampling is decimated).
+    """
+
+    output_names: Tuple[str, ...]
+    samples: List[Tuple[Optional[int], ...]] = field(default_factory=list)
+    final_state: Tuple = ()
+    cycles: int = 0
+
+    def record(self, outputs: Dict[str, Optional[int]]) -> None:
+        """Append one sample from a simulator's output dictionary."""
+        self.samples.append(tuple(outputs[name] for name in self.output_names))
+
+    def same_outputs(self, other: "Trace") -> bool:
+        """True when both runs produced identical output sequences.
+
+        An unknown sample (``None``) never matches a known one: from the
+        analyser's point of view an ``X`` on a system output is an
+        observable deviation.
+        """
+        return self.samples == other.samples
+
+    def same_state(self, other: "Trace") -> bool:
+        """True when the final architectural states are identical."""
+        return self.final_state == other.final_state
+
+    def first_divergence(self, other: "Trace") -> Optional[int]:
+        """Index of the first differing sample, or ``None`` if equal.
+
+        If one trace is a prefix of the other, the first index beyond the
+        shorter trace is returned.
+        """
+        for index, (mine, theirs) in enumerate(zip(self.samples,
+                                                   other.samples)):
+            if mine != theirs:
+                return index
+        if len(self.samples) != len(other.samples):
+            return min(len(self.samples), len(other.samples))
+        return None
+
+
+def capture_run(sim, cycles: int, output_names: Sequence[str],
+                inputs: Optional[Dict[str, int]] = None,
+                sample_every: int = 1) -> Trace:
+    """Run *sim* for *cycles* and return the recorded :class:`Trace`.
+
+    ``sample_every`` decimates the output sampling (the paper's tool
+    monitors sequential elements once per clock cycle; large campaigns may
+    observe less often to bound trace size).
+    """
+    trace = Trace(tuple(output_names))
+    for cycle in range(cycles):
+        outputs = sim.step(inputs if cycle == 0 else None)
+        if cycle % sample_every == 0:
+            trace.record(outputs)
+    trace.final_state = sim.state_snapshot()
+    trace.cycles = cycles
+    return trace

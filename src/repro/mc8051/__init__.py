@@ -1,0 +1,48 @@
+"""Target VLSI model (S4): an 8051-subset microcontroller.
+
+Provides the ISA definition, a two-pass assembler, a reference ISS, the
+structural RTL model with the paper's unit partitioning (REG / RAM / ALU /
+MEM / FSM) and the workload programs, including the Bubblesort the paper's
+experiments run.
+"""
+
+from .asm import Assembler, assemble, disassemble
+from .debug import (Divergence, TraceEntry, compare_iss_rtl, render_trace,
+                    trace_execution)
+from .cpu import Mc8051Model, build_mc8051
+from .isa import OPCODES, InstrSpec, spec_for
+from .iss import IRAM_SIZE, PC_MASK, ROM_SIZE, Iss
+from .programs import (ARRAY_BASE, Workload, array_sum, bubblesort,
+                       fibonacci, multiply, paper_bubblesort,
+                       quick_bubblesort, sum_of_squares,
+                       table_lookup)
+
+__all__ = [
+    "Assembler",
+    "Divergence",
+    "TraceEntry",
+    "compare_iss_rtl",
+    "render_trace",
+    "trace_execution",
+    "assemble",
+    "disassemble",
+    "Mc8051Model",
+    "build_mc8051",
+    "OPCODES",
+    "InstrSpec",
+    "spec_for",
+    "IRAM_SIZE",
+    "PC_MASK",
+    "ROM_SIZE",
+    "Iss",
+    "ARRAY_BASE",
+    "Workload",
+    "array_sum",
+    "bubblesort",
+    "fibonacci",
+    "multiply",
+    "paper_bubblesort",
+    "quick_bubblesort",
+    "sum_of_squares",
+    "table_lookup",
+]

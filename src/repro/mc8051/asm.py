@@ -1,0 +1,250 @@
+"""Two-pass assembler (and disassembler) for the 8051-subset ISA.
+
+Accepted syntax, one statement per line::
+
+    ; comments run to end of line
+    start:  MOV  R0,#0x30      ; labels end with ':'
+            MOV  A,@R0
+            CJNE A,#10,start
+            MOV  0x90,A        ; direct addresses may be numbers or symbols
+            DB   1, 2, 0x33    ; raw bytes
+            ORG  0x100         ; set location counter
+    P1 EQU 0x90                ; symbolic constants
+
+Numbers: decimal, ``0x``-prefixed hex, or ``NNh`` suffix hex.  Relative
+branch targets are written as labels (or absolute addresses) and encoded as
+signed 8-bit displacements.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import WorkloadError
+from .isa import lookup, spec_for
+
+_NUMBER = re.compile(r"^(0x[0-9a-fA-F]+|[0-9a-fA-F]+[hH]|[0-9]+)$")
+
+
+def parse_number(token: str, symbols: Optional[Dict[str, int]] = None) -> int:
+    """Parse a numeric literal or symbol into an integer."""
+    token = token.strip()
+    if symbols and token in symbols:
+        return symbols[token]
+    if token.lower().startswith("0x"):
+        return int(token, 16)
+    if token and token[-1] in "hH" and _NUMBER.match(token):
+        return int(token[:-1], 16)
+    if token.isdigit():
+        return int(token, 10)
+    raise WorkloadError(f"cannot parse number or symbol {token!r}")
+
+
+def _classify_operand(token: str) -> Tuple[str, Optional[str]]:
+    """Map an operand token to a format atom plus its value text."""
+    token = token.strip()
+    upper = token.upper()
+    if upper == "A":
+        return "A", None
+    if upper == "C":
+        return "C", None
+    match = re.fullmatch(r"R([0-7])", upper)
+    if match:
+        return f"R{match.group(1)}", None
+    match = re.fullmatch(r"@R([01])", upper)
+    if match:
+        return f"@R{match.group(1)}", None
+    if upper == "DPTR":
+        return "DPTR", None
+    if upper == "@A+DPTR":
+        return "@A+DPTR", None
+    if token.startswith("#"):
+        return "#imm", token[1:]
+    return "dir", token  # numbers, symbols, labels
+
+
+class Assembler:
+    """Two-pass assembler producing a flat code image."""
+
+    def __init__(self):
+        self.symbols: Dict[str, int] = {}
+
+    def assemble(self, source: str, origin: int = 0) -> bytes:
+        """Assemble *source* into bytes starting at *origin*."""
+        statements = self._parse(source)
+        self._collect_labels(statements, origin)
+        return self._emit(statements, origin)
+
+    # ------------------------------------------------------------------
+    def _parse(self, source: str) -> List[Tuple[int, str, str, List[str]]]:
+        statements = []
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(";", 1)[0].rstrip()
+            if not line.strip():
+                continue
+            label = ""
+            match = re.match(r"^\s*([A-Za-z_][\w]*):", line)
+            if match:
+                label = match.group(1)
+                line = line[match.end():]
+            equ = re.match(r"^\s*([A-Za-z_][\w]*)\s+EQU\s+(\S+)\s*$", line,
+                           re.IGNORECASE)
+            if equ:
+                self.symbols[equ.group(1)] = parse_number(equ.group(2),
+                                                          self.symbols)
+                if label:
+                    statements.append((line_no, label, "", []))
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].upper() if parts else ""
+            operands: List[str] = []
+            if len(parts) > 1:
+                operands = [tok.strip() for tok in parts[1].split(",")]
+            statements.append((line_no, label, mnemonic, operands))
+        return statements
+
+    def _statement_length(self, line_no: int, mnemonic: str,
+                          operands: List[str]) -> int:
+        if not mnemonic:
+            return 0
+        if mnemonic == "ORG":
+            return 0
+        if mnemonic == "DB":
+            return len(operands)
+        fmt = ",".join(_classify_operand(tok)[0] for tok in operands)
+        found = lookup(mnemonic, self._fmt_with_rel(mnemonic, fmt))
+        if found is None:
+            raise WorkloadError(
+                f"line {line_no}: unknown instruction {mnemonic} {fmt}")
+        return found[1].length
+
+    @staticmethod
+    def _fmt_with_rel(mnemonic: str, fmt: str) -> str:
+        """Rewrite trailing 'dir' atoms into 'rel'/'addr16' for branches."""
+        if mnemonic in ("JC", "JNC", "JZ", "JNZ", "SJMP"):
+            return "rel"
+        if mnemonic in ("LJMP", "LCALL"):
+            return "addr16"
+        if mnemonic == "CJNE":
+            parts = fmt.split(",")
+            parts[-1] = "rel"
+            return ",".join(parts)
+        if mnemonic == "DJNZ":
+            parts = fmt.split(",")
+            parts[-1] = "rel"
+            return ",".join(parts)
+        if fmt.startswith("DPTR,#imm"):
+            return "DPTR,#imm16"
+        return fmt
+
+    def _collect_labels(self, statements, origin: int) -> None:
+        counter = origin
+        for line_no, label, mnemonic, operands in statements:
+            if label:
+                self.symbols[label] = counter
+            if mnemonic == "ORG":
+                counter = parse_number(operands[0], self.symbols)
+                continue
+            counter += self._statement_length(line_no, mnemonic, operands)
+
+    def _emit(self, statements, origin: int) -> bytes:
+        image: Dict[int, int] = {}
+        counter = origin
+        for line_no, _label, mnemonic, operands in statements:
+            if not mnemonic:
+                continue
+            if mnemonic == "ORG":
+                counter = parse_number(operands[0], self.symbols)
+                continue
+            if mnemonic == "DB":
+                for token in operands:
+                    image[counter] = parse_number(token, self.symbols) & 0xFF
+                    counter += 1
+                continue
+            atoms = [_classify_operand(tok) for tok in operands]
+            fmt = self._fmt_with_rel(
+                mnemonic, ",".join(atom for atom, _v in atoms))
+            found = lookup(mnemonic, fmt)
+            if found is None:
+                raise WorkloadError(
+                    f"line {line_no}: unknown instruction {mnemonic}")
+            code, spec = found
+            image[counter] = code
+            position = counter + 1
+            end = counter + spec.length
+            fmt_atoms = fmt.split(",") if fmt else []
+            for (atom, value), fmt_atom in zip(atoms, fmt_atoms):
+                if value is None:
+                    continue
+                number = parse_number(value, self.symbols)
+                if fmt_atom == "rel":
+                    displacement = number - end
+                    if not -128 <= displacement <= 127:
+                        raise WorkloadError(
+                            f"line {line_no}: branch target out of range "
+                            f"({displacement})")
+                    image[position] = displacement & 0xFF
+                    position += 1
+                elif fmt_atom in ("addr16", "#imm16"):
+                    image[position] = (number >> 8) & 0xFF
+                    image[position + 1] = number & 0xFF
+                    position += 2
+                else:  # #imm or dir
+                    image[position] = number & 0xFF
+                    position += 1
+            counter = end
+        if not image:
+            return b""
+        size = max(image) + 1
+        return bytes(image.get(addr, 0) for addr in range(size))
+
+
+def assemble(source: str, origin: int = 0) -> bytes:
+    """Convenience wrapper: assemble *source* with a fresh symbol table."""
+    return Assembler().assemble(source, origin)
+
+
+def disassemble(code: bytes, addr: int = 0,
+                base: int = 0) -> List[Tuple[int, str]]:
+    """Linear-sweep disassembly; returns (address, text) pairs.
+
+    ``base`` is the memory address of ``code[0]``; relative-branch targets
+    and the returned addresses are rendered against it, so a window cut
+    from a larger image still shows correct targets.
+    """
+    result = []
+    position = addr
+    while position < len(code):
+        opcode = code[position]
+        spec = spec_for(opcode)
+        if position + spec.length > len(code):
+            break  # truncated trailing instruction
+        operands = code[position + 1:position + spec.length]
+        text = spec.mnemonic
+        if spec.fmt:
+            rendered = spec.fmt
+            consumed = 0
+            for atom in spec.fmt.split(","):
+                if atom in ("#imm", "dir"):
+                    rendered = rendered.replace(
+                        atom, f"{'#' if atom == '#imm' else ''}"
+                        f"0x{operands[consumed]:02X}", 1)
+                    consumed += 1
+                elif atom == "rel":
+                    rel = operands[consumed]
+                    if rel >= 128:
+                        rel -= 256
+                    target = base + position + spec.length + rel
+                    rendered = rendered.replace(atom, f"0x{target:04X}", 1)
+                    consumed += 1
+                elif atom in ("addr16", "#imm16"):
+                    target = (operands[consumed] << 8) | operands[consumed + 1]
+                    prefix = "#" if atom == "#imm16" else ""
+                    rendered = rendered.replace(atom,
+                                                f"{prefix}0x{target:04X}", 1)
+                    consumed += 2
+            text = f"{spec.mnemonic} {rendered}"
+        result.append((base + position, text))
+        position += spec.length
+    return result

@@ -1,0 +1,155 @@
+"""Debugging aids: instruction traces and ISS-vs-RTL divergence hunting.
+
+When a fault-injection experiment (or a CPU change) misbehaves, the first
+question is *where execution went wrong*.  This module provides:
+
+* :func:`trace_execution` — a disassembled instruction-level log from the
+  reference ISS, with per-instruction architectural state;
+* :func:`compare_iss_rtl` — lockstep ISS/RTL execution that reports the
+  first architectural divergence (cycle, signal, both values), the tool
+  that located every CPU bug during this reproduction's bring-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..hdl.simulator import NetlistSim
+from .asm import disassemble
+from .cpu import build_mc8051
+from .iss import Iss
+
+
+@dataclass
+class TraceEntry:
+    """One executed instruction in an ISS trace."""
+
+    cycle: int          # cycle count *before* the instruction
+    pc: int
+    text: str           # disassembled instruction
+    acc: int            # architectural state *after* execution
+    psw: int
+    sp: int
+
+    def render(self) -> str:
+        return (f"{self.cycle:>6}  {self.pc:04X}  {self.text:<20} "
+                f"A={self.acc:02X} PSW={self.psw:02X} SP={self.sp:02X}")
+
+
+def trace_execution(rom: bytes, max_instructions: int = 10_000,
+                    stop_on_idle: bool = True) -> List[TraceEntry]:
+    """Run the ISS and log every executed instruction."""
+    iss = Iss(rom)
+    entries: List[TraceEntry] = []
+    for _ in range(max_instructions):
+        pc = iss.pc
+        cycle = iss.cycles
+        listing = disassemble(bytes(iss.rom[pc:pc + 3]), base=pc)
+        text = listing[0][1] if listing else "?"
+        iss.step_instruction()
+        entries.append(TraceEntry(cycle=cycle, pc=pc, text=text,
+                                  acc=iss.acc, psw=iss.psw, sp=iss.sp))
+        if stop_on_idle and iss.pc == pc and iss.rom[pc] == 0x80:
+            break
+    return entries
+
+
+def render_trace(entries: List[TraceEntry]) -> str:
+    """Plain-text rendering of an instruction trace."""
+    header = f"{'cycle':>6}  {'pc':>4}  {'instruction':<20} state"
+    return "\n".join([header] + [entry.render() for entry in entries])
+
+
+@dataclass
+class Divergence:
+    """First point where the RTL disagrees with the reference ISS."""
+
+    cycle: int
+    signal: str
+    iss_value: int
+    rtl_value: Optional[int]
+    instruction: str = ""
+
+    def render(self) -> str:
+        return (f"divergence at cycle {self.cycle} "
+                f"({self.instruction or 'unknown instruction'}): "
+                f"{self.signal} ISS={self.iss_value:#x} "
+                f"RTL={self.rtl_value if self.rtl_value is None else hex(self.rtl_value)}")
+
+
+#: Architectural signals compared in lockstep, in check order.
+COMPARED_SIGNALS: Tuple[str, ...] = ("acc", "sp", "p1", "p2", "b",
+                                     "dpl", "dph")
+
+
+def compare_iss_rtl(rom: bytes, max_cycles: int = 20_000
+                    ) -> Optional[Divergence]:
+    """Run the ISS and the RTL model in lockstep; return the first
+    architectural divergence, or ``None`` if they agree to the end.
+
+    Comparison happens at instruction boundaries (the ISS's granularity):
+    after each ISS instruction, the RTL is stepped the same number of
+    cycles plus one settle cycle on a scratch copy, and the architectural
+    registers and IRAM are compared.
+    """
+    iss = Iss(rom)
+    model = build_mc8051(rom)
+    sim = NetlistSim(model.netlist)
+    sim.reset()
+    executed = 0
+    while iss.cycles < max_cycles:
+        pc_before = iss.pc
+        listing = disassemble(bytes(iss.rom[pc_before:pc_before + 3]),
+                              base=pc_before)
+        text = listing[0][1] if listing else "?"
+        spent = iss.step_instruction()
+        for _ in range(spent):
+            sim.step()
+        executed += spent
+        # Peek reflects the evaluation phase, one capture behind; the
+        # state registers compared here were all stable for >=1 cycle
+        # at an instruction boundary except those written on the very
+        # last edge — step a scratch probe cycle only when needed by
+        # comparing against the *stored* FF state instead.
+        mismatch = _compare_state(iss, sim, model)
+        if mismatch is not None:
+            signal, iss_value, rtl_value = mismatch
+            return Divergence(cycle=iss.cycles, signal=signal,
+                              iss_value=iss_value, rtl_value=rtl_value,
+                              instruction=text)
+        if iss.pc == pc_before and iss.rom[pc_before] == 0x80:
+            break  # terminal self-loop
+    return None
+
+
+def _compare_state(iss: Iss, sim: NetlistSim, model):
+    """Compare architectural state via stored FF values (capture-exact)."""
+    netlist = model.netlist
+    ff_of_net = {dff.q: index for index, dff in enumerate(netlist.dffs)}
+    state = sim.ff_state()
+
+    def rtl_word(name: str) -> Optional[int]:
+        nets = netlist.names.get(name)
+        if nets is None:
+            return None
+        value = 0
+        for position, net in enumerate(nets):
+            index = ff_of_net.get(net)
+            if index is None:
+                return None  # not FF-backed: skip
+            value |= state[index] << position
+        return value
+
+    for signal in COMPARED_SIGNALS:
+        rtl_value = rtl_word(signal)
+        if rtl_value is None:
+            continue
+        iss_value = getattr(iss, signal if signal != "acc" else "acc")
+        if rtl_value != iss_value:
+            return signal, iss_value, rtl_value
+    rtl_iram = sim.mem_state("iram")
+    for addr, value in enumerate(iss.iram):
+        if rtl_iram[addr] != value:
+            return f"iram[{addr:#04x}]", value, rtl_iram[addr]
+    return None

@@ -1,0 +1,344 @@
+"""Instruction-set definition of the 8051-subset target model.
+
+The paper's system under study is an Intel 8051 IP core.  This module
+defines the subset we implement — some forty opcodes with authentic 8051
+encodings, covering every addressing mode the Bubblesort workload and the
+other shipped programs use: register, register-indirect, direct (including
+SFRs) and immediate, plus the conditional/unconditional branches.
+
+Each opcode maps to an :class:`InstrSpec` whose fields are exactly the
+control-word fields the RTL decoder emits, so the assembler, the reference
+ISS and the hardware model all share one source of truth.
+
+Execution follows a fixed multi-cycle state walk (see
+:mod:`repro.mc8051.cpu`)::
+
+    FETCH -> DECODE [-> OP1] [-> OP2] [-> AGEN [-> IND2]] -> EXEC [-> WRITE]
+
+so an instruction's cycle count is fully determined by its spec
+(:meth:`InstrSpec.cycles`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+# Addressing/"address generation" modes -----------------------------------
+AGEN_NONE = 0   # no memory operand (immediate or none)
+AGEN_REG = 1    # Rn (current bank)
+AGEN_IND = 2    # @Ri (pointer read, then operand access)
+AGEN_DIR = 3    # direct address (IRAM below 0x80, SFRs above)
+
+# ALU operations -----------------------------------------------------------
+ALU_PASSB = 0   # result = B operand (MOV-style)
+ALU_PASSA = 1   # result = A operand (store ACC / XCH)
+ALU_ADD = 2
+ALU_SUBB = 3
+ALU_AND = 4
+ALU_OR = 5
+ALU_XOR = 6
+ALU_INC = 7
+ALU_DEC = 8
+ALU_CPL = 9
+ALU_CLR = 10
+ALU_RL = 11
+ALU_RR = 12
+ALU_CMP = 13    # compare (CJNE): sets borrow, result only tested for zero
+ALU_ADDC = 14   # add with carry in
+
+# Stack operations (dedicated datapath/state behaviour) ----------------------
+STACK_NONE = 0
+STACK_PUSH = 1  # SP += 1; mem[SP] = operand
+STACK_POP = 2   # result = mem[SP]; SP -= 1
+STACK_CALL = 3  # push both PC bytes, then jump (LCALL)
+STACK_RET = 4   # pop both PC bytes into PC (RET)
+
+# Extended datapath operations (DPTR / code memory) ---------------------------
+EXT_NONE = 0
+EXT_MOVC = 1       # operand = code[DPTR + A] (MOVC A,@A+DPTR)
+EXT_DPTR_LOAD = 2  # DPTR = #imm16 (MOV DPTR,#imm16)
+EXT_DPTR_INC = 3   # DPTR += 1 (INC DPTR)
+
+# A-side operand -----------------------------------------------------------
+ASRC_ACC = 0
+ASRC_TMP = 1    # the fetched memory operand
+
+# B-side operand -----------------------------------------------------------
+BSRC_TMP = 0
+BSRC_OP1 = 1
+BSRC_OP2 = 2
+
+# Result destination -------------------------------------------------------
+DEST_NONE = 0
+DEST_ACC = 1
+DEST_MEM = 2    # IRAM at the generated address, or an SFR for DIR >= 0x80
+
+# Branch kinds --------------------------------------------------------------
+BR_NONE = 0
+BR_JC = 1
+BR_JNC = 2
+BR_JZ = 3
+BR_JNZ = 4
+BR_SJMP = 5
+BR_LJMP = 6
+BR_CJNE = 7
+BR_DJNZ = 8
+BR_RET = 9
+
+# Flag-update policies -------------------------------------------------------
+FLAG_NONE = 0
+FLAG_ARITH = 1  # CY, AC, OV from the adder
+FLAG_CY0 = 2    # CLR C
+FLAG_CY1 = 3    # SETB C
+FLAG_CYCPL = 4  # CPL C
+FLAG_CMP = 5    # CY only (CJNE)
+
+# SFR addresses (direct space >= 0x80) ---------------------------------------
+SFR_P0 = 0x80
+SFR_SP = 0x81
+SFR_DPL = 0x82
+SFR_DPH = 0x83
+SFR_P1 = 0x90
+SFR_P2 = 0xA0
+SFR_PSW = 0xD0
+SFR_ACC = 0xE0
+SFR_B = 0xF0
+
+# PSW bit positions.
+PSW_P = 0
+PSW_OV = 2
+PSW_RS0 = 3
+PSW_RS1 = 4
+PSW_F0 = 5
+PSW_AC = 6
+PSW_CY = 7
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Decoded behaviour of one opcode."""
+
+    mnemonic: str
+    fmt: str            # operand format for the assembler/disassembler
+    length: int         # total bytes including the opcode
+    agen: int = AGEN_NONE
+    aluop: int = ALU_PASSB
+    asrc: int = ASRC_ACC
+    bsrc: int = BSRC_TMP
+    dest: int = DEST_NONE
+    branch: int = BR_NONE
+    flags: int = FLAG_NONE
+    xch: bool = False   # also load ACC with the memory operand (XCH)
+    stack: int = STACK_NONE
+    ext: int = EXT_NONE
+
+    def cycles(self) -> int:
+        """Exact cycle count of the fixed state walk."""
+        count = 2                      # FETCH + DECODE
+        count += self.length - 1       # OP1/OP2 fetch states
+        if self.agen != AGEN_NONE:
+            count += 1                 # AGEN (or first stack read)
+        if self.agen == AGEN_IND:
+            count += 1                 # IND2 (pointer/second stack read)
+        count += 1                     # EXEC
+        if self.dest == DEST_MEM:
+            count += 1                 # WRITE
+        if self.stack == STACK_CALL:
+            count += 1                 # WRITE2 (second return-address byte)
+        return count
+
+    def control_word(self) -> int:
+        """Pack the spec into the control word the decoder emits."""
+        return ((self.length - 1)
+                | (self.agen << 2)
+                | (self.aluop << 4)
+                | (self.asrc << 8)
+                | (self.bsrc << 9)
+                | (self.dest << 11)
+                | (self.branch << 13)
+                | (self.flags << 17)
+                | (int(self.xch) << 20)
+                | (self.stack << 21)
+                | (self.ext << 24))
+
+
+#: Width of the packed control word in bits.
+CONTROL_WIDTH = 26
+
+
+def _build_opcodes() -> Dict[int, InstrSpec]:
+    ops: Dict[int, InstrSpec] = {}
+
+    def op(code: int, spec: InstrSpec) -> None:
+        if code in ops:
+            raise ValueError(f"opcode {code:#04x} defined twice")
+        ops[code] = spec
+
+    op(0x00, InstrSpec("NOP", "", 1))
+
+    # MOV -----------------------------------------------------------------
+    op(0x74, InstrSpec("MOV", "A,#imm", 2, bsrc=BSRC_OP1,
+                       aluop=ALU_PASSB, dest=DEST_ACC))
+    for n in range(8):
+        op(0x78 + n, InstrSpec("MOV", f"R{n},#imm", 2, agen=AGEN_REG,
+                               bsrc=BSRC_OP1, aluop=ALU_PASSB,
+                               dest=DEST_MEM))
+        op(0xE8 + n, InstrSpec("MOV", f"A,R{n}", 1, agen=AGEN_REG,
+                               aluop=ALU_PASSB, dest=DEST_ACC))
+        op(0xF8 + n, InstrSpec("MOV", f"R{n},A", 1, agen=AGEN_REG,
+                               aluop=ALU_PASSA, dest=DEST_MEM))
+    for i in range(2):
+        op(0xE6 + i, InstrSpec("MOV", f"A,@R{i}", 1, agen=AGEN_IND,
+                               aluop=ALU_PASSB, dest=DEST_ACC))
+        op(0xF6 + i, InstrSpec("MOV", f"@R{i},A", 1, agen=AGEN_IND,
+                               aluop=ALU_PASSA, dest=DEST_MEM))
+        op(0x76 + i, InstrSpec("MOV", f"@R{i},#imm", 2, agen=AGEN_IND,
+                               bsrc=BSRC_OP1, aluop=ALU_PASSB,
+                               dest=DEST_MEM))
+    op(0xE5, InstrSpec("MOV", "A,dir", 2, agen=AGEN_DIR,
+                       aluop=ALU_PASSB, dest=DEST_ACC))
+    op(0xF5, InstrSpec("MOV", "dir,A", 2, agen=AGEN_DIR,
+                       aluop=ALU_PASSA, dest=DEST_MEM))
+    op(0x75, InstrSpec("MOV", "dir,#imm", 3, agen=AGEN_DIR,
+                       bsrc=BSRC_OP2, aluop=ALU_PASSB, dest=DEST_MEM))
+
+    # Arithmetic -------------------------------------------------------------
+    def arith(base: int, mnemonic: str, aluop: int) -> None:
+        op(base + 0x04, InstrSpec(mnemonic, "A,#imm", 2, bsrc=BSRC_OP1,
+                                  aluop=aluop, dest=DEST_ACC,
+                                  flags=FLAG_ARITH))
+        op(base + 0x05, InstrSpec(mnemonic, "A,dir", 2, agen=AGEN_DIR,
+                                  aluop=aluop, dest=DEST_ACC,
+                                  flags=FLAG_ARITH))
+        for i in range(2):
+            op(base + 0x06 + i, InstrSpec(mnemonic, f"A,@R{i}", 1,
+                                          agen=AGEN_IND, aluop=aluop,
+                                          dest=DEST_ACC, flags=FLAG_ARITH))
+        for n in range(8):
+            op(base + 0x08 + n, InstrSpec(mnemonic, f"A,R{n}", 1,
+                                          agen=AGEN_REG, aluop=aluop,
+                                          dest=DEST_ACC, flags=FLAG_ARITH))
+
+    arith(0x20, "ADD", ALU_ADD)
+    arith(0x30, "ADDC", ALU_ADDC)
+    arith(0x90, "SUBB", ALU_SUBB)
+
+    # Stack and subroutines ---------------------------------------------------
+    op(0xC0, InstrSpec("PUSH", "dir", 2, agen=AGEN_DIR, aluop=ALU_PASSB,
+                       dest=DEST_MEM, stack=STACK_PUSH))
+    op(0xD0, InstrSpec("POP", "dir", 2, agen=AGEN_DIR, aluop=ALU_PASSB,
+                       dest=DEST_MEM, stack=STACK_POP))
+    op(0x12, InstrSpec("LCALL", "addr16", 3, dest=DEST_MEM,
+                       branch=BR_LJMP, stack=STACK_CALL))
+    op(0x22, InstrSpec("RET", "", 1, agen=AGEN_IND, branch=BR_RET,
+                       stack=STACK_RET))
+
+    # DPTR and code-memory access ---------------------------------------------
+    op(0x90, InstrSpec("MOV", "DPTR,#imm16", 3, ext=EXT_DPTR_LOAD))
+    op(0xA3, InstrSpec("INC", "DPTR", 1, ext=EXT_DPTR_INC))
+    op(0x93, InstrSpec("MOVC", "A,@A+DPTR", 1, agen=AGEN_DIR,
+                       aluop=ALU_PASSB, dest=DEST_ACC, ext=EXT_MOVC))
+
+    # Logic (no flags besides parity, which is combinational) ---------------
+    def logic(base: int, mnemonic: str, aluop: int) -> None:
+        op(base + 0x04, InstrSpec(mnemonic, "A,#imm", 2, bsrc=BSRC_OP1,
+                                  aluop=aluop, dest=DEST_ACC))
+        op(base + 0x05, InstrSpec(mnemonic, "A,dir", 2, agen=AGEN_DIR,
+                                  aluop=aluop, dest=DEST_ACC))
+        for i in range(2):
+            op(base + 0x06 + i, InstrSpec(mnemonic, f"A,@R{i}", 1,
+                                          agen=AGEN_IND, aluop=aluop,
+                                          dest=DEST_ACC))
+        for n in range(8):
+            op(base + 0x08 + n, InstrSpec(mnemonic, f"A,R{n}", 1,
+                                          agen=AGEN_REG, aluop=aluop,
+                                          dest=DEST_ACC))
+
+    logic(0x50, "ANL", ALU_AND)
+    logic(0x40, "ORL", ALU_OR)
+    logic(0x60, "XRL", ALU_XOR)
+
+    # INC / DEC ------------------------------------------------------------
+    op(0x04, InstrSpec("INC", "A", 1, aluop=ALU_INC, dest=DEST_ACC))
+    op(0x14, InstrSpec("DEC", "A", 1, aluop=ALU_DEC, dest=DEST_ACC))
+    op(0x05, InstrSpec("INC", "dir", 2, agen=AGEN_DIR, asrc=ASRC_TMP,
+                       aluop=ALU_INC, dest=DEST_MEM))
+    op(0x15, InstrSpec("DEC", "dir", 2, agen=AGEN_DIR, asrc=ASRC_TMP,
+                       aluop=ALU_DEC, dest=DEST_MEM))
+    for i in range(2):
+        op(0x06 + i, InstrSpec("INC", f"@R{i}", 1, agen=AGEN_IND,
+                               asrc=ASRC_TMP, aluop=ALU_INC, dest=DEST_MEM))
+        op(0x16 + i, InstrSpec("DEC", f"@R{i}", 1, agen=AGEN_IND,
+                               asrc=ASRC_TMP, aluop=ALU_DEC, dest=DEST_MEM))
+    for n in range(8):
+        op(0x08 + n, InstrSpec("INC", f"R{n}", 1, agen=AGEN_REG,
+                               asrc=ASRC_TMP, aluop=ALU_INC, dest=DEST_MEM))
+        op(0x18 + n, InstrSpec("DEC", f"R{n}", 1, agen=AGEN_REG,
+                               asrc=ASRC_TMP, aluop=ALU_DEC, dest=DEST_MEM))
+
+    # Accumulator/carry operations ------------------------------------------
+    op(0xE4, InstrSpec("CLR", "A", 1, aluop=ALU_CLR, dest=DEST_ACC))
+    op(0xF4, InstrSpec("CPL", "A", 1, aluop=ALU_CPL, dest=DEST_ACC))
+    op(0x23, InstrSpec("RL", "A", 1, aluop=ALU_RL, dest=DEST_ACC))
+    op(0x03, InstrSpec("RR", "A", 1, aluop=ALU_RR, dest=DEST_ACC))
+    op(0xC3, InstrSpec("CLR", "C", 1, flags=FLAG_CY0))
+    op(0xD3, InstrSpec("SETB", "C", 1, flags=FLAG_CY1))
+    op(0xB3, InstrSpec("CPL", "C", 1, flags=FLAG_CYCPL))
+
+    # XCH -----------------------------------------------------------------
+    op(0xC5, InstrSpec("XCH", "A,dir", 2, agen=AGEN_DIR, aluop=ALU_PASSA,
+                       dest=DEST_MEM, xch=True))
+    for i in range(2):
+        op(0xC6 + i, InstrSpec("XCH", f"A,@R{i}", 1, agen=AGEN_IND,
+                               aluop=ALU_PASSA, dest=DEST_MEM, xch=True))
+    for n in range(8):
+        op(0xC8 + n, InstrSpec("XCH", f"A,R{n}", 1, agen=AGEN_REG,
+                               aluop=ALU_PASSA, dest=DEST_MEM, xch=True))
+
+    # Branches ----------------------------------------------------------------
+    op(0x40 - 0x40 + 0x40, InstrSpec("JC", "rel", 2, branch=BR_JC))
+    op(0x50, InstrSpec("JNC", "rel", 2, branch=BR_JNC))
+    op(0x60, InstrSpec("JZ", "rel", 2, branch=BR_JZ))
+    op(0x70, InstrSpec("JNZ", "rel", 2, branch=BR_JNZ))
+    op(0x80, InstrSpec("SJMP", "rel", 2, branch=BR_SJMP))
+    op(0x02, InstrSpec("LJMP", "addr16", 3, branch=BR_LJMP))
+    op(0xB4, InstrSpec("CJNE", "A,#imm,rel", 3, bsrc=BSRC_OP1,
+                       aluop=ALU_CMP, branch=BR_CJNE, flags=FLAG_CMP))
+    op(0xB5, InstrSpec("CJNE", "A,dir,rel", 3, agen=AGEN_DIR,
+                       aluop=ALU_CMP, branch=BR_CJNE, flags=FLAG_CMP))
+    for i in range(2):
+        op(0xB6 + i, InstrSpec("CJNE", f"@R{i},#imm,rel", 3, agen=AGEN_IND,
+                               asrc=ASRC_TMP, bsrc=BSRC_OP1, aluop=ALU_CMP,
+                               branch=BR_CJNE, flags=FLAG_CMP))
+    for n in range(8):
+        op(0xB8 + n, InstrSpec("CJNE", f"R{n},#imm,rel", 3, agen=AGEN_REG,
+                               asrc=ASRC_TMP, bsrc=BSRC_OP1, aluop=ALU_CMP,
+                               branch=BR_CJNE, flags=FLAG_CMP))
+    op(0xD5, InstrSpec("DJNZ", "dir,rel", 3, agen=AGEN_DIR, asrc=ASRC_TMP,
+                       aluop=ALU_DEC, dest=DEST_MEM, branch=BR_DJNZ))
+    for n in range(8):
+        op(0xD8 + n, InstrSpec("DJNZ", f"R{n},rel", 2, agen=AGEN_REG,
+                               asrc=ASRC_TMP, aluop=ALU_DEC, dest=DEST_MEM,
+                               branch=BR_DJNZ))
+    return ops
+
+
+#: All implemented opcodes; undefined encodings execute as NOP.
+OPCODES: Dict[int, InstrSpec] = _build_opcodes()
+
+#: Spec used for undefined encodings.
+NOP_SPEC = OPCODES[0x00]
+
+
+def spec_for(opcode: int) -> InstrSpec:
+    """Spec of *opcode* (undefined opcodes behave as NOP)."""
+    return OPCODES.get(opcode & 0xFF, NOP_SPEC)
+
+
+def lookup(mnemonic: str, fmt: str) -> Optional[Tuple[int, InstrSpec]]:
+    """Find the opcode for a (mnemonic, operand-format) pair."""
+    for code, spec in OPCODES.items():
+        if spec.mnemonic == mnemonic and spec.fmt == fmt:
+            return code, spec
+    return None

@@ -1,0 +1,307 @@
+"""Workload programs for the microcontroller experiments.
+
+The paper's workload is "the Bubblesort algorithm, which is commonly used
+in HDL-based fault injection experiments" (section 6.1); it ran for 1303
+clock cycles on the modelled 8051.  This module provides that workload plus
+several companions, each with a Python-side expected-results oracle:
+
+* :func:`bubblesort` — in-place ascending sort; the sorted array is then
+  streamed to port P1, one element per write (the observable outputs).
+* :func:`array_sum` — accumulate an array, emit the 8-bit sum on P1.
+* :func:`fibonacci` — iterative Fibonacci, emitting each term on P1.
+* :func:`multiply` — 8x8 shift-and-add product, emitting low/high bytes.
+
+Every program ends in the idiomatic terminal self-loop ``SJMP $`` (encoded
+``0x80 0xFE``), which the golden-run machinery uses to size experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..errors import WorkloadError
+from .asm import assemble
+
+#: IRAM address where workload arrays live.
+ARRAY_BASE = 0x30
+
+
+@dataclass
+class Workload:
+    """An assembled program plus its observable-output oracle."""
+
+    name: str
+    rom: bytes
+    expected_p1: List[int] = field(default_factory=list)
+    description: str = ""
+
+    @property
+    def terminal_loop(self) -> bool:
+        """Whether the program ends in ``SJMP $``."""
+        return b"\x80\xfe" in self.rom
+
+
+def _init_array(values: Sequence[int]) -> str:
+    """Unrolled immediate writes of *values* to IRAM at ARRAY_BASE."""
+    lines = [f"        MOV R0,#{ARRAY_BASE}"]
+    for value in values:
+        lines.append(f"        MOV @R0,#{value & 0xFF}")
+        lines.append("        INC R0")
+    return "\n".join(lines)
+
+
+def bubblesort(values: Sequence[int]) -> Workload:
+    """The paper's Bubblesort workload over *values* (ascending).
+
+    After sorting, every element is written to P1 in order — those writes
+    are the output trace the Failure classification compares.
+    """
+    n = len(values)
+    if n < 2:
+        raise WorkloadError("bubblesort needs at least two elements")
+    source = f"""
+{_init_array(values)}
+        MOV R2,#{n - 1}
+outer:  MOV R0,#{ARRAY_BASE}
+        MOV A,R2
+        MOV R3,A
+inner:  MOV A,@R0
+        MOV R4,A
+        INC R0
+        MOV A,@R0
+        MOV R5,A
+        CLR C
+        SUBB A,R4
+        JNC noswap
+        MOV A,R4
+        MOV @R0,A
+        DEC R0
+        MOV A,R5
+        MOV @R0,A
+        INC R0
+noswap: DJNZ R3,inner
+        DJNZ R2,outer
+        MOV R0,#{ARRAY_BASE}
+        MOV R2,#{n}
+emit:   MOV A,@R0
+        MOV 0x90,A
+        INC R0
+        DJNZ R2,emit
+done:   SJMP done
+"""
+    return Workload(
+        name=f"bubblesort{n}",
+        rom=assemble(source),
+        expected_p1=sorted(v & 0xFF for v in values),
+        description=f"sort {n} bytes ascending, stream result to P1")
+
+
+def array_sum(values: Sequence[int]) -> Workload:
+    """Sum an array modulo 256 and emit the total on P1."""
+    if not values:
+        raise WorkloadError("array_sum needs at least one element")
+    n = len(values)
+    source = f"""
+{_init_array(values)}
+        MOV R0,#{ARRAY_BASE}
+        MOV R2,#{n}
+        CLR A
+loop:   ADD A,@R0
+        INC R0
+        DJNZ R2,loop
+        MOV 0x90,A
+done:   SJMP done
+"""
+    return Workload(
+        name=f"array_sum{n}",
+        rom=assemble(source),
+        expected_p1=[sum(v & 0xFF for v in values) & 0xFF],
+        description=f"sum {n} bytes, emit the 8-bit total on P1")
+
+
+def fibonacci(terms: int) -> Workload:
+    """Emit the first *terms* Fibonacci numbers (mod 256) on P1."""
+    if not 1 <= terms <= 16:
+        raise WorkloadError("fibonacci supports 1..16 terms")
+    source = f"""
+        MOV R1,#0
+        MOV R2,#1
+        MOV R3,#{terms}
+loop:   MOV A,R1
+        MOV 0x90,A
+        MOV A,R1
+        ADD A,R2
+        MOV R4,A
+        MOV A,R2
+        MOV R1,A
+        MOV A,R4
+        MOV R2,A
+        DJNZ R3,loop
+done:   SJMP done
+"""
+    expected = []
+    a, b = 0, 1
+    for _ in range(terms):
+        expected.append(a & 0xFF)
+        a, b = b, (a + b) & 0xFFFF
+    return Workload(
+        name=f"fibonacci{terms}",
+        rom=assemble(source),
+        expected_p1=expected,
+        description=f"first {terms} Fibonacci numbers on P1")
+
+
+def multiply(a: int, b: int) -> Workload:
+    """8x8 -> 16 shift-and-add multiply; emits low then high byte on P1.
+
+    Exercises rotates, conditional branches and carry arithmetic — a
+    denser ALU workload than Bubblesort.
+    """
+    a &= 0xFF
+    b &= 0xFF
+    source = f"""
+        MOV R1,#{a}      ; multiplicand low
+        MOV R2,#0        ; multiplicand high
+        MOV R3,#{b}      ; multiplier
+        MOV R4,#0        ; product low
+        MOV R5,#0        ; product high
+        MOV R6,#8        ; bit counter
+loop:   MOV A,R3
+        ANL A,#1
+        JZ skip
+        ; product += multiplicand (16-bit)
+        MOV A,R4
+        ADD A,R1
+        MOV R4,A
+        MOV A,R5
+        JNC nocarry
+        INC A
+nocarry: ADD A,R2
+        MOV R5,A
+skip:   MOV A,R3
+        RR A
+        MOV R3,A
+        ; multiplicand <<= 1 (16-bit)
+        MOV A,R1
+        ADD A,R1
+        MOV R1,A
+        MOV A,R2
+        JNC nc2
+        ADD A,R2
+        INC A
+        SJMP sh2
+nc2:    ADD A,R2
+sh2:    MOV R2,A
+        DJNZ R6,loop
+        MOV A,R4
+        MOV 0x90,A
+        MOV A,R5
+        MOV 0x90,A
+done:   SJMP done
+"""
+    product = a * b
+    return Workload(
+        name=f"multiply_{a}x{b}",
+        rom=assemble(source),
+        expected_p1=[product & 0xFF, (product >> 8) & 0xFF],
+        description=f"compute {a}*{b} by shift-and-add, emit 16-bit result")
+
+
+def sum_of_squares(values: Sequence[int]) -> Workload:
+    """Sum of squares via a square() subroutine — exercises the stack.
+
+    Each element is squared by repeated addition inside a called
+    subroutine (LCALL/RET with PUSH/POP register preservation); the 8-bit
+    total lands on P1.  Faults hitting the stack region of IRAM corrupt
+    return addresses — a qualitatively different failure mode from data
+    corruption.
+    """
+    if not values:
+        raise WorkloadError("sum_of_squares needs at least one element")
+    n = len(values)
+    source = f"""
+{_init_array(values)}
+        MOV R0,#{ARRAY_BASE}
+        MOV R2,#{n}
+        MOV R6,#0       ; running total
+loop:   MOV A,@R0
+        MOV R3,A
+        LCALL square
+        ADD A,R6
+        MOV R6,A
+        INC R0
+        DJNZ R2,loop
+        MOV A,R6
+        MOV 0x90,A
+done:   SJMP done
+
+; square: A = R3 * R3 (mod 256), clobbers R4/R5 (saved on the stack)
+square: PUSH 0x04       ; R4 (bank 0 direct address)
+        PUSH 0x05       ; R5
+        MOV A,R3
+        MOV R4,A
+        CLR A
+        MOV R5,A
+        MOV A,R3
+        JZ sqdone
+sqloop: MOV A,R5
+        ADD A,R3
+        MOV R5,A
+        DJNZ R4,sqloop
+sqdone: MOV A,R5
+        POP 0x05
+        POP 0x04
+        RET
+"""
+    total = sum((v & 0xFF) * (v & 0xFF) for v in values) & 0xFF
+    return Workload(
+        name=f"sum_of_squares{n}",
+        rom=assemble(source),
+        expected_p1=[total],
+        description=f"sum of squares of {n} bytes via a subroutine, "
+                    "result on P1")
+
+
+def table_lookup(values: Sequence[int]) -> Workload:
+    """Code-memory table transform: emit squares[v & 0x0F] for each value.
+
+    The 16-entry squares table lives in ROM and is read through
+    ``MOVC A,@A+DPTR`` — so faults in the *ROM block* (or in the DPTR
+    registers) corrupt the transform, a location class the RAM-resident
+    workloads never exercise.
+    """
+    if not values:
+        raise WorkloadError("table_lookup needs at least one element")
+    n = len(values)
+    source = f"""
+{_init_array(values)}
+        MOV R0,#{ARRAY_BASE}
+        MOV R2,#{n}
+loop:   MOV DPTR,#table
+        MOV A,@R0
+        ANL A,#0x0F
+        MOVC A,@A+DPTR
+        MOV 0x90,A
+        INC R0
+        DJNZ R2,loop
+done:   SJMP done
+table:  DB {', '.join(str((i * i) & 0xFF) for i in range(16))}
+"""
+    expected = [((v & 0x0F) * (v & 0x0F)) & 0xFF for v in values]
+    return Workload(
+        name=f"table_lookup{n}",
+        rom=assemble(source),
+        expected_p1=expected,
+        description=f"ROM-table square lookup of {n} bytes via MOVC")
+
+
+def paper_bubblesort() -> Workload:
+    """The default campaign workload: an 8-element Bubblesort whose run
+    length lands near the paper's 1303 clock cycles."""
+    return bubblesort([23, 7, 250, 1, 99, 42, 180, 16])
+
+
+def quick_bubblesort() -> Workload:
+    """A shorter 4-element Bubblesort for unit tests and fast campaigns."""
+    return bubblesort([9, 3, 12, 5])

@@ -1,0 +1,53 @@
+"""Synthesis substrate (S2): optimisation, technology mapping, location map.
+
+:func:`synthesize` is the convenience entry point: it takes an elaborated
+:class:`~repro.hdl.netlist.Netlist` and returns the mapped design plus the
+HDL-to-resource :class:`~repro.synth.locmap.LocationMap` the fault-location
+process consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl.netlist import Netlist
+from .locmap import BitLocation, LocationMap, SignalLocation, build_location_map
+from .mapped import LUT_INPUTS, Lut, MappedNetlist, MappedSim
+from .optimize import OptimizeResult, optimize
+from .techmap import techmap
+
+
+@dataclass
+class SynthesisResult:
+    """Output of a full synthesis + implementation-mapping run."""
+
+    mapped: MappedNetlist
+    locmap: LocationMap
+    optimize_stats: dict
+
+
+def synthesize(netlist: Netlist, remove_dead_ffs: bool = True,
+               keep_nets=None) -> SynthesisResult:
+    """Run the full front-end flow: optimise, map, build the location map."""
+    optimized = optimize(netlist, remove_dead_ffs=remove_dead_ffs)
+    mapped = techmap(optimized.netlist, keep_nets=keep_nets)
+    locmap = build_location_map(netlist, optimized, mapped)
+    return SynthesisResult(mapped=mapped, locmap=locmap,
+                           optimize_stats=optimized.stats)
+
+
+__all__ = [
+    "BitLocation",
+    "LocationMap",
+    "SignalLocation",
+    "build_location_map",
+    "LUT_INPUTS",
+    "Lut",
+    "MappedNetlist",
+    "MappedSim",
+    "OptimizeResult",
+    "optimize",
+    "techmap",
+    "SynthesisResult",
+    "synthesize",
+]

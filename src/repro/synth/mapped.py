@@ -1,0 +1,207 @@
+"""Technology-mapped netlist: 4-input LUTs, flip-flops and memory blocks.
+
+This is the implementation-level view of a design — the paper's "synthesis
+and implementation" output — expressed in the resource vocabulary of the
+generic FPGA architecture (section 3): function generators built as 4-input
+look-up tables, D flip-flops, and embedded memory blocks.  Net identifiers
+are shared with the source :class:`~repro.hdl.netlist.Netlist`, which lets
+the location map trace HDL names down to mapped resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SynthesisError
+from ..hdl.netlist import CONST0, CONST1, Bram, Dff
+
+LUT_INPUTS = 4
+
+
+@dataclass
+class Lut:
+    """A mapped look-up table.
+
+    ``tt`` is the little-endian truth table over ``ins``; with fewer than
+    four inputs only the low ``2**len(ins)`` bits are meaningful.  The FPGA
+    substrate pads the table to 16 bits when generating configuration data.
+    """
+
+    out: int
+    ins: Tuple[int, ...]
+    tt: int
+    unit: str = ""
+
+    def eval(self, values: Sequence[int]) -> int:
+        """Evaluate over binary *values* indexed by net id."""
+        index = 0
+        for position, net in enumerate(self.ins):
+            if values[net]:
+                index |= 1 << position
+        return (self.tt >> index) & 1
+
+    def padded_tt(self) -> int:
+        """Truth table replicated over exactly four variables (16 bits)."""
+        mask = (1 << len(self.ins)) - 1
+        tt = 0
+        for index in range(16):
+            if (self.tt >> (index & mask)) & 1:
+                tt |= 1 << index
+        return tt
+
+
+class MappedNetlist:
+    """A design after technology mapping."""
+
+    def __init__(self, name: str, n_nets: int):
+        self.name = name
+        self.n_nets = n_nets
+        self.luts: List[Lut] = []
+        self.ffs: List[Dff] = []
+        self.brams: List[Bram] = []
+        self.inputs: Dict[str, List[int]] = {}
+        self.outputs: Dict[str, List[int]] = {}
+        self.names: Dict[str, List[int]] = {}
+        self.name_units: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Resource usage summary (the numbers quoted in paper §6/7.1)."""
+        return {
+            "luts": len(self.luts),
+            "ffs": len(self.ffs),
+            "brams": len(self.brams),
+            "bram_bits": sum(b.depth * b.width for b in self.brams),
+            "inputs": sum(len(v) for v in self.inputs.values()),
+            "outputs": sum(len(v) for v in self.outputs.values()),
+        }
+
+    def lut_of_net(self) -> Dict[int, int]:
+        """Map net id -> index of the LUT driving it."""
+        return {lut.out: index for index, lut in enumerate(self.luts)}
+
+    def ff_of_net(self) -> Dict[int, int]:
+        """Map net id -> index of the flip-flop driving it."""
+        return {ff.q: index for index, ff in enumerate(self.ffs)}
+
+    def check(self) -> None:
+        """Validate structural invariants of the mapped design."""
+        produced = {CONST0, CONST1}
+        for nets in self.inputs.values():
+            produced.update(nets)
+        for ff in self.ffs:
+            produced.add(ff.q)
+        for bram in self.brams:
+            produced.update(bram.rdata)
+        for lut in self.luts:
+            if len(lut.ins) > LUT_INPUTS:
+                raise SynthesisError(
+                    f"LUT {lut.out} has {len(lut.ins)} inputs")
+            for net in lut.ins:
+                if net not in produced:
+                    raise SynthesisError(
+                        f"LUT {lut.out} reads unproduced net {net} "
+                        "(not topological)")
+            if lut.out in produced:
+                raise SynthesisError(f"net {lut.out} driven twice")
+            produced.add(lut.out)
+        for ff in self.ffs:
+            if ff.d not in produced:
+                raise SynthesisError(f"FF {ff.name!r} D reads dangling net")
+        for bram in self.brams:
+            for net in (*bram.raddr, *bram.waddr, *bram.wdata, bram.we):
+                if net not in produced:
+                    raise SynthesisError(
+                        f"BRAM {bram.name!r} reads dangling net {net}")
+        for nets in self.outputs.values():
+            for net in nets:
+                if net not in produced:
+                    raise SynthesisError(f"output reads dangling net {net}")
+
+
+class MappedSim:
+    """Reference cycle simulator for a mapped netlist.
+
+    Used by the test-suite to prove that technology mapping preserved the
+    design's behaviour; the actual FADES experiments run on the FPGA device
+    simulator, which executes from configuration memory instead.
+    """
+
+    def __init__(self, mapped: MappedNetlist):
+        mapped.check()
+        self.mapped = mapped
+        self.cycle = 0
+        self._values = [0] * mapped.n_nets
+        self._ff_state = [ff.init for ff in mapped.ffs]
+        self._mem_state = {b.name: list(b.init) for b in mapped.brams}
+        self._held = {name: 0 for name in mapped.inputs}
+        compiled = []
+        for lut in mapped.luts:
+            ins = list(lut.ins) + [CONST0] * (4 - len(lut.ins))
+            compiled.append((lut.out, lut.padded_tt(),
+                             ins[0], ins[1], ins[2], ins[3]))
+        self._compiled = compiled
+
+    def reset(self) -> None:
+        """Restore initial state (GSR-like global reset)."""
+        self.cycle = 0
+        self._ff_state = [ff.init for ff in self.mapped.ffs]
+        for bram in self.mapped.brams:
+            self._mem_state[bram.name] = list(bram.init)
+            for net in bram.rdata:
+                self._values[net] = 0
+        for name in self._held:
+            self._held[name] = 0
+
+    def step(self, inputs: Optional[Dict[str, int]] = None
+             ) -> Dict[str, Optional[int]]:
+        """Advance one clock cycle; return settled primary outputs."""
+        if inputs:
+            for name, value in inputs.items():
+                self._held[name] = value
+        values = self._values
+        values[CONST0] = 0
+        values[CONST1] = 1
+        for name, nets in self.mapped.inputs.items():
+            held = self._held[name]
+            for position, net in enumerate(nets):
+                values[net] = (held >> position) & 1
+        for ff, state in zip(self.mapped.ffs, self._ff_state):
+            values[ff.q] = state
+        for out, tt, i0, i1, i2, i3 in self._compiled:
+            values[out] = (tt >> (values[i0] | values[i1] << 1
+                                  | values[i2] << 2 | values[i3] << 3)) & 1
+        outputs = {}
+        for name, nets in self.mapped.outputs.items():
+            value = 0
+            for position, net in enumerate(nets):
+                value |= values[net] << position
+            outputs[name] = value
+        for index, ff in enumerate(self.mapped.ffs):
+            self._ff_state[index] = values[ff.d]
+        for bram in self.mapped.brams:
+            cells = self._mem_state[bram.name]
+            raddr = 0
+            for position, net in enumerate(bram.raddr):
+                raddr |= values[net] << position
+            read = cells[raddr] if raddr < bram.depth else 0
+            if not bram.rom and values[bram.we]:
+                waddr = 0
+                for position, net in enumerate(bram.waddr):
+                    waddr |= values[net] << position
+                wdata = 0
+                for position, net in enumerate(bram.wdata):
+                    wdata |= values[net] << position
+                if waddr < bram.depth:
+                    cells[waddr] = wdata
+            for position, net in enumerate(bram.rdata):
+                values[net] = (read >> position) & 1
+        self.cycle += 1
+        return outputs
+
+    def state_snapshot(self) -> Tuple:
+        """Hashable snapshot of all architectural state."""
+        mems = tuple(sorted(
+            (name, tuple(cells)) for name, cells in self._mem_state.items()))
+        return (tuple(self._ff_state), mems)

@@ -1,0 +1,226 @@
+"""Netlist optimiser: constant propagation, deduplication, dead-code removal.
+
+Real synthesis "renames, merges or removes" HDL elements (paper, section 2),
+which is precisely why the fault-location process needs a mapping database.
+This optimiser reproduces those effects mechanically and reports them through
+the returned net map, so :mod:`repro.synth.locmap` can tell a fault-injection
+campaign which HDL elements survived implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..hdl.netlist import CONST0, CONST1, Bram, Dff, Gate, Netlist
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of :func:`optimize`.
+
+    Attributes
+    ----------
+    netlist:
+        The optimised netlist (a fresh object; the input is not mutated).
+    net_map:
+        Maps every *input* net id to the corresponding net in the optimised
+        netlist, or ``None`` when the net was removed as dead logic.
+        Constants map to the constant nets.
+    stats:
+        Counters: gates merged by hashing, gates folded to constants,
+        dead gates and dead flip-flops removed.
+    """
+
+    netlist: Netlist
+    net_map: Dict[int, Optional[int]]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def _fold(tt: int, ins: Tuple[int, ...]) -> Optional[Tuple[int, ...]]:
+    """Partially evaluate a gate whose inputs include constants.
+
+    Returns ``(new_tt, new_ins)`` with constants removed, or a 1-tuple
+    ``(net,)`` when the gate collapses to an existing net/constant.
+    Returns ``None`` when nothing can be folded.
+    """
+    if CONST0 not in ins and CONST1 not in ins:
+        # Check for repeated inputs, which also shrink the support.
+        if len(set(ins)) == len(ins):
+            return None
+    # Substitute constants/duplicates by cofactoring the truth table.
+    seen: Dict[int, int] = {}
+    new_ins: List[int] = []
+    positions: List[Tuple[int, Optional[int], Optional[int]]] = []
+    for position, net in enumerate(ins):
+        if net == CONST0:
+            positions.append((position, 0, None))
+        elif net == CONST1:
+            positions.append((position, 1, None))
+        elif net in seen:
+            positions.append((position, None, seen[net]))
+        else:
+            seen[net] = len(new_ins)
+            positions.append((position, None, None))
+            new_ins.append(net)
+    new_tt = 0
+    for new_index in range(1 << len(new_ins)):
+        old_index = 0
+        for position, const, duplicate_of in positions:
+            if const is not None:
+                bit = const
+            elif duplicate_of is not None:
+                bit = (new_index >> duplicate_of) & 1
+            else:
+                slot = sum(1 for p, c, d in positions[:position]
+                           if c is None and d is None)
+                bit = (new_index >> slot) & 1
+            if bit:
+                old_index |= 1 << position
+        if (tt >> old_index) & 1:
+            new_tt |= 1 << new_index
+    # Collapse trivial results.
+    full = (1 << (1 << len(new_ins))) - 1
+    if new_tt == 0:
+        return (CONST0,)
+    if new_tt == full:
+        return (CONST1,)
+    if len(new_ins) == 1 and new_tt == 0b10:  # buffer
+        return (new_ins[0],)
+    return (new_tt, tuple(new_ins))
+
+
+def optimize(netlist: Netlist, remove_dead_ffs: bool = True) -> OptimizeResult:
+    """Optimise *netlist*; see :class:`OptimizeResult` for the contract.
+
+    Passes, applied in one forward sweep plus a mark/sweep fixpoint:
+
+    1. constant propagation / input deduplication via truth-table cofactors;
+    2. structural hashing — gates with identical function and operands merge;
+    3. dead-logic elimination, including flip-flops that feed only dead
+       logic (disable with ``remove_dead_ffs=False`` to keep all state).
+    """
+    stats = {"merged": 0, "folded": 0, "dead_gates": 0, "dead_ffs": 0}
+    replace: Dict[int, int] = {CONST0: CONST0, CONST1: CONST1}
+    for nets in netlist.inputs.values():
+        for net in nets:
+            replace[net] = net
+    for dff in netlist.dffs:
+        replace[dff.q] = dff.q
+    for bram in netlist.brams:
+        for net in bram.rdata:
+            replace[net] = net
+
+    hashed: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+    surviving: List[Tuple[int, str, Tuple[int, ...], int, str]] = []
+    for gate in netlist.gates:
+        ins = tuple(replace[n] for n in gate.ins)
+        tt = gate.tt
+        folded = _fold(tt, ins)
+        if folded is not None:
+            if len(folded) == 1:
+                replace[gate.out] = folded[0]
+                stats["folded"] += 1
+                continue
+            tt, ins = folded
+        key = (tt, ins)
+        existing = hashed.get(key)
+        if existing is not None:
+            replace[gate.out] = existing
+            stats["merged"] += 1
+            continue
+        hashed[key] = gate.out
+        replace[gate.out] = gate.out
+        surviving.append((gate.out, gate.kind, ins, tt, gate.unit))
+
+    # ---- mark/sweep over gates and flip-flops -------------------------
+    gate_of: Dict[int, int] = {out: idx
+                               for idx, (out, *_rest) in enumerate(surviving)}
+    used = set()
+
+    def mark(net: int) -> None:
+        stack = [net]
+        while stack:
+            current = stack.pop()
+            if current in used:
+                continue
+            used.add(current)
+            index = gate_of.get(current)
+            if index is not None:
+                stack.extend(surviving[index][2])
+
+    for nets in netlist.outputs.values():
+        for net in nets:
+            mark(replace[net])
+    for bram in netlist.brams:
+        for net in (*bram.raddr, *bram.waddr, *bram.wdata, bram.we):
+            mark(replace[net])
+
+    live_ffs = [False] * len(netlist.dffs)
+    if remove_dead_ffs:
+        changed = True
+        while changed:
+            changed = False
+            for index, dff in enumerate(netlist.dffs):
+                if not live_ffs[index] and dff.q in used:
+                    live_ffs[index] = True
+                    mark(replace[dff.d])
+                    changed = True
+    else:
+        for index, dff in enumerate(netlist.dffs):
+            live_ffs[index] = True
+            mark(replace[dff.d])
+
+    # ---- rebuild -------------------------------------------------------
+    out = Netlist(netlist.name)
+    out.n_nets = netlist.n_nets  # keep the id space: simplifies mapping
+    for name, nets in netlist.inputs.items():
+        out.add_input(name, nets)
+    for index, dff in enumerate(netlist.dffs):
+        if live_ffs[index]:
+            new = Dff(q=dff.q, d=replace[dff.d], init=dff.init,
+                      name=dff.name, unit=dff.unit)
+            out.dffs.append(new)
+            out._driver[new.q] = "dff"
+        else:
+            stats["dead_ffs"] += 1
+    for bram in netlist.brams:
+        out.add_bram(Bram(
+            name=bram.name, depth=bram.depth, width=bram.width,
+            raddr=tuple(replace[n] for n in bram.raddr),
+            rdata=bram.rdata,
+            waddr=tuple(replace[n] for n in bram.waddr),
+            wdata=tuple(replace[n] for n in bram.wdata),
+            we=replace[bram.we], init=list(bram.init), rom=bram.rom,
+            unit=bram.unit))
+    for net, kind, ins, tt, unit in surviving:
+        if net not in used:
+            stats["dead_gates"] += 1
+            continue
+        out.gates.append(Gate(net, kind, ins, tt, unit))
+        out._driver[net] = "gate"
+    for name, nets in netlist.outputs.items():
+        out.add_output(name, [replace[n] for n in nets])
+
+    dead_q = {netlist.dffs[i].q for i in range(len(netlist.dffs))
+              if not live_ffs[i]}
+    net_map: Dict[int, Optional[int]] = {}
+    for net in range(netlist.n_nets):
+        mapped = replace.get(net)
+        if mapped is None or mapped in dead_q:
+            net_map[net] = None
+        elif mapped in (CONST0, CONST1):
+            net_map[net] = mapped
+        elif (mapped in used or out._driver.get(mapped) in
+              ("input", "dff", "bram")):
+            net_map[net] = mapped
+        else:
+            net_map[net] = None
+    for name, nets in netlist.names.items():
+        mapped = [net_map.get(n) for n in nets]
+        kept = [m if m is not None else CONST0 for m in mapped]
+        # Record the name even if some bits died; locmap reconstructs the
+        # per-bit survival from net_map.
+        out.add_name(name, kept, netlist.name_units.get(name, ""))
+    out.check()
+    return OptimizeResult(netlist=out, net_map=net_map, stats=stats)

@@ -1,0 +1,140 @@
+"""Technology mapping: cover a gate netlist with 4-input LUTs.
+
+A greedy cone-packing mapper: every gate's fan-in cone is grown by absorbing
+single-fanout predecessor gates while the cone's leaf support stays within
+four nets; the cone is then collapsed into one LUT by exhaustive truth-table
+evaluation (at most 16 rows).  LUTs whose outputs end up unread are swept at
+the end, so absorption never duplicates logic.
+
+This mirrors the paper's observation (section 4.2 and figure 5) that after
+implementation "the contents of the LUT represent the truth table of a
+circuit" from which a structural representation can be extracted — the FADES
+pulse injector performs exactly that extraction in reverse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import SynthesisError
+from ..hdl.netlist import CONST0, CONST1, Dff, Gate, Netlist
+from .mapped import LUT_INPUTS, Lut, MappedNetlist
+
+
+def _cone_truth_table(root: Gate, leaves: Tuple[int, ...],
+                      gate_of: Dict[int, Gate]) -> int:
+    """Exhaustively evaluate the cone rooted at *root* over its *leaves*."""
+    tt = 0
+    for assignment in range(1 << len(leaves)):
+        values: Dict[int, int] = {CONST0: 0, CONST1: 1}
+        for position, leaf in enumerate(leaves):
+            values[leaf] = (assignment >> position) & 1
+
+        def eval_net(net: int) -> int:
+            cached = values.get(net)
+            if cached is not None:
+                return cached
+            gate = gate_of[net]
+            index = 0
+            for position, in_net in enumerate(gate.ins):
+                if eval_net(in_net):
+                    index |= 1 << position
+            value = (gate.tt >> index) & 1
+            values[net] = value
+            return value
+
+        if eval_net(root.out):
+            tt |= 1 << assignment
+    return tt
+
+
+def techmap(netlist: Netlist,
+            keep_nets: Optional[Set[int]] = None) -> MappedNetlist:
+    """Map an optimised gate netlist onto 4-input LUTs.
+
+    Parameters
+    ----------
+    netlist:
+        The design to map; gates must have at most three inputs (the IR
+        guarantees this).
+    keep_nets:
+        Nets that must survive mapping as explicit LUT outputs even when
+        absorbable — used to protect observation points.  By default only
+        structurally required nets (multi-fanout, state inputs, primary
+        outputs) survive, matching real tools where internal HDL signals
+        may disappear.
+
+    Returns the :class:`MappedNetlist`; net identifiers are preserved.
+    """
+    keep = set(keep_nets or ())
+    fanout = netlist.fanout_counts()
+    gate_of: Dict[int, Gate] = {gate.out: gate for gate in netlist.gates}
+
+    mapped = MappedNetlist(netlist.name, netlist.n_nets)
+    for name, nets in netlist.inputs.items():
+        mapped.inputs[name] = list(nets)
+    for name, nets in netlist.outputs.items():
+        mapped.outputs[name] = list(nets)
+    mapped.names = {name: list(nets) for name, nets in netlist.names.items()}
+    mapped.name_units = dict(netlist.name_units)
+    for dff in netlist.dffs:
+        mapped.ffs.append(Dff(q=dff.q, d=dff.d, init=dff.init,
+                              name=dff.name, unit=dff.unit))
+    mapped.brams = netlist.brams  # immutable from the mapper's viewpoint
+
+    # ---- grow a cone for every gate ----------------------------------
+    candidate_luts: List[Lut] = []
+    for gate in netlist.gates:
+        leaves: List[int] = []
+        for net in gate.ins:
+            if net not in leaves:
+                leaves.append(net)
+        changed = True
+        while changed:
+            changed = False
+            for position, leaf in enumerate(leaves):
+                inner = gate_of.get(leaf)
+                if inner is None:
+                    continue
+                if fanout[leaf] != 1 or leaf in keep:
+                    continue
+                merged: List[int] = leaves[:position] + leaves[position + 1:]
+                for in_net in inner.ins:
+                    if in_net in (CONST0, CONST1):
+                        continue
+                    if in_net not in merged:
+                        merged.append(in_net)
+                if len(merged) <= LUT_INPUTS:
+                    leaves = merged
+                    changed = True
+                    break
+        if not leaves:
+            raise SynthesisError(
+                f"gate {gate.kind}->{gate.out} collapsed to a constant; "
+                "run the optimiser before mapping")
+        tt = _cone_truth_table(gate, tuple(leaves), gate_of)
+        candidate_luts.append(Lut(out=gate.out, ins=tuple(leaves), tt=tt,
+                                  unit=gate.unit))
+
+    # ---- sweep LUTs made redundant by absorption ----------------------
+    lut_of: Dict[int, Lut] = {lut.out: lut for lut in candidate_luts}
+    used: Set[int] = set()
+    stack: List[int] = list(keep)
+    for nets in netlist.outputs.values():
+        stack.extend(nets)
+    for dff in mapped.ffs:
+        stack.append(dff.d)
+    for bram in mapped.brams:
+        stack.extend((*bram.raddr, *bram.waddr, *bram.wdata, bram.we))
+    while stack:
+        net = stack.pop()
+        if net in used:
+            continue
+        used.add(net)
+        lut = lut_of.get(net)
+        if lut is not None:
+            stack.extend(lut.ins)
+
+    mapped.luts = [lut for lut in candidate_luts if lut.out in used]
+    mapped.check()
+    return mapped

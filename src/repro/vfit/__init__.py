@@ -1,0 +1,20 @@
+"""VFIT baseline (S5): VHDL-simulator-command fault injection.
+
+The comparison tool of the paper's evaluation (section 6): same fault
+models and faultloads, but injected through simulator commands on the HDL
+model, with host-CPU simulation cost — the technique FADES is measured
+against in table 2 (speed-up) and table 3 (result agreement).
+"""
+
+from .commands import VfitCommands, vfit_pool_targets
+from .timing_model import VfitTimeModel, VfitTimingParams
+from .tool import VfitCampaign, vfit_faultload
+
+__all__ = [
+    "VfitCommands",
+    "vfit_pool_targets",
+    "VfitTimeModel",
+    "VfitTimingParams",
+    "VfitCampaign",
+    "vfit_faultload",
+]

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign", "--model", "pulse"])
+        assert args.tool == "fades"
+        assert args.pool == "ffs"
+        assert args.band == 1
+
+    def test_values_parsing(self):
+        args = build_parser().parse_args(
+            ["--values", "1,0x20,300", "info"])
+        assert args.values == (1, 0x20, 300 & 0xFF)
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--model", "gremlin"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["--values", "7,2,5", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "workload" in out
+        assert "virtex1000-like" in out
+        assert "unit ALU" in out
+
+    def test_campaign_fades(self, capsys):
+        code = main(["--values", "7,2,5", "campaign", "--model", "bitflip",
+                     "--pool", "ffs", "--count", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FADES | bitflip @ ffs" in out
+        assert "n=3" in out
+        assert "s/fault" in out
+
+    def test_campaign_vfit(self, capsys):
+        code = main(["--values", "7,2,5", "campaign", "--tool", "vfit",
+                     "--model", "indetermination", "--count", "3"])
+        assert code == 0
+        assert "VFIT" in capsys.readouterr().out
+
+    def test_campaign_vfit_delay_fails_cleanly(self, capsys):
+        code = main(["--values", "7,2,5", "campaign", "--tool", "vfit",
+                     "--model", "delay", "--pool", "nets:seq",
+                     "--count", "2"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_seu(self, capsys):
+        code = main(["--values", "7,2,5", "seu", "--count", "5",
+                     "--occupied"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "essential" in out
+
+    def test_bad_pool_reports_error(self, capsys):
+        code = main(["--values", "7,2,5", "campaign", "--model", "pulse",
+                     "--pool", "nonsense", "--count", "2"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,177 @@
+"""Tests for the configuration-memory SEU extension.
+
+Covers the three configuration planes (CB, routing, memory), the device's
+routing-plane decode (broken nets / phantom loads), and the campaign-level
+essential-bits accounting.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (ConfigBit, config_seu_fault, plane_bits,
+                        random_config_bit, run_config_seu_campaign,
+                        used_route_bit, Outcome)
+from repro.core.config_seu import occupied_frames
+from repro.fpga.architecture import CB_BYTES, CB_FLAGS, CB_TT_LO, PM_BYTES, \
+    FrameAddr
+
+from helpers import build_counter
+from test_core_injector import make_campaign
+
+
+@pytest.fixture()
+def campaign():
+    return make_campaign(build_counter(4), inputs={"en": 1})
+
+
+class TestSampling:
+    def test_plane_bit_totals(self, campaign):
+        arch = campaign.device.arch
+        assert plane_bits(arch, "cb") == arch.cols * arch.rows * CB_BYTES * 8
+        assert plane_bits(arch, "route") == \
+            arch.cols * arch.rows * PM_BYTES * 8
+        assert plane_bits(arch, "bram") > 0
+
+    def test_draw_respects_planes(self, campaign):
+        rng = random.Random(1)
+        arch = campaign.device.arch
+        for _ in range(20):
+            bit = random_config_bit(arch, rng, planes=("cb",))
+            assert bit.addr.kind == "cb"
+            assert bit.byte_off < arch.frame_size(bit.addr)
+
+    def test_draw_is_plane_size_weighted(self, campaign):
+        rng = random.Random(2)
+        arch = campaign.device.arch
+        kinds = [random_config_bit(arch, rng).addr.kind for _ in range(300)]
+        # The routing plane is 4x the CB plane: it must dominate.
+        assert kinds.count("route") > kinds.count("cb")
+
+    def test_occupied_frames_subset(self, campaign):
+        frames = occupied_frames(campaign)
+        assert frames
+        all_frames = set(campaign.device.arch.config_frames())
+        assert set(frames) <= all_frames
+
+    def test_used_route_bit_is_allocated(self, campaign):
+        rng = random.Random(3)
+        bit = used_route_bit(campaign, rng)
+        index = (bit.byte_off % PM_BYTES) * 8 + bit.bit_off
+        row = bit.byte_off // PM_BYTES
+        assert campaign.device.config.get_pass_transistor(
+            row, bit.addr.major, index) == 1
+
+
+class TestCbPlaneUpsets:
+    def _cb_bit(self, campaign, ff_index, flag_bit):
+        row, col = campaign.impl.placement.site_of_ff[ff_index]
+        return ConfigBit(FrameAddr("cb", col),
+                         byte_off=row * CB_BYTES + CB_FLAGS,
+                         bit_off=flag_bit)
+
+    def test_lut_bit_upset_changes_logic(self, campaign):
+        # Flip truth-table bits of a packed next-state LUT: at least one
+        # of the visited table entries must change observable behaviour
+        # (entries the counter never visits stay silent — also checked).
+        lut_index = next(
+            index for index, site in
+            campaign.impl.placement.site_of_lut.items()
+            if campaign.impl.placement.sites[site].packed)
+        row, col = campaign.impl.placement.site_of_lut[lut_index]
+        outcomes = set()
+        for tt_bit in range(8):
+            bit = ConfigBit(FrameAddr("cb", col),
+                            byte_off=row * CB_BYTES + CB_TT_LO,
+                            bit_off=tt_bit)
+            result = campaign.run_experiment(config_seu_fault(bit, 3), 20)
+            outcomes.add(result.outcome)
+        assert Outcome.FAILURE in outcomes or Outcome.LATENT in outcomes
+
+    def test_invert_lsr_upset_forces_ff(self, campaign):
+        from repro.fpga.architecture import CB_FLAG_INVERT_LSR
+        bit = self._cb_bit(campaign, 0, CB_FLAG_INVERT_LSR)
+        result = campaign.run_experiment(config_seu_fault(bit, 4), 20)
+        # Counter bit 0 pinned at srval: counting breaks.
+        assert result.outcome is Outcome.FAILURE
+
+    def test_unused_cb_upset_is_silent(self, campaign):
+        arch = campaign.device.arch
+        # Find an unoccupied site.
+        occupied = set(campaign.impl.placement.sites)
+        free = next((r, c) for r in range(arch.rows)
+                    for c in range(arch.cols) if (r, c) not in occupied)
+        bit = ConfigBit(FrameAddr("cb", free[1]),
+                        byte_off=free[0] * CB_BYTES + CB_TT_LO, bit_off=3)
+        result = campaign.run_experiment(config_seu_fault(bit, 3), 20)
+        assert result.outcome is Outcome.SILENT
+
+
+class TestRoutePlaneUpsets:
+    def test_breaking_allocated_pt_fails(self, campaign):
+        rng = random.Random(7)
+        # Break a pass transistor of a net feeding the outputs.
+        failures = 0
+        for seed in range(5):
+            bit = used_route_bit(campaign, random.Random(seed))
+            result = campaign.run_experiment(config_seu_fault(bit, 2), 20)
+            if result.outcome is not Outcome.SILENT:
+                failures += 1
+        assert failures >= 3  # most broken lines are observable here
+
+    def test_broken_net_detected_and_cleared(self, campaign):
+        device = campaign.device
+        bit = used_route_bit(campaign, random.Random(1))
+        campaign.run_experiment(config_seu_fault(bit, 2), 15)
+        # After restoration, no anomaly survives.
+        assert device._broken_nets == set()
+        assert device.impl.timing.seu_extra == {}
+        assert device.config.diff_frames(campaign.impl.golden_bitstream) \
+            == []
+
+    def test_unused_pt_upset_adds_phantom_load(self, campaign):
+        device = campaign.device
+        routing = campaign.impl.routing
+        net = next(iter(routing.routes))
+        pm = routing.route_of(net).pms[0]
+        # Find an index beyond the allocated ones.
+        index = 150
+        assert device.config.get_pass_transistor(pm[0], pm[1], index) == 0
+        frame = bytearray(device.read_frame(FrameAddr("route", pm[1])))
+        frame[pm[0] * PM_BYTES + index // 8] |= 1 << (index % 8)
+        device.write_frame(FrameAddr("route", pm[1]), bytes(frame))
+        device.step({"en": 1})  # settles lazy timing refresh
+        assert device.impl.timing.seu_extra  # phantom load registered
+        assert device._broken_nets == set()
+        # Restore.
+        device.write_frame(
+            FrameAddr("route", pm[1]),
+            campaign.impl.golden_bitstream.get_frame(
+                FrameAddr("route", pm[1])))
+        device.step()
+        assert device.impl.timing.seu_extra == {}
+
+
+class TestCampaignLevel:
+    def test_memory_plane_upset_behaves_like_bitflip(self):
+        from helpers import build_accumulator
+        campaign = make_campaign(build_accumulator(),
+                                 inputs={"addr": 2, "load": 1})
+        block = campaign.impl.placement.block_of_bram[0]
+        # Bit 0 of word 2 (value 7) in the memory plane.
+        bit = ConfigBit(FrameAddr("bram", block), byte_off=2, bit_off=0)
+        result = campaign.run_experiment(config_seu_fault(bit, 1), 16)
+        assert result.outcome is Outcome.FAILURE
+
+    def test_campaign_reports_by_plane(self, campaign):
+        report = run_config_seu_campaign(campaign, count=10, cycles=15,
+                                         seed=5)
+        assert report.result.counts().total == 10
+        assert sum(sum(t.values()) for t in report.by_plane.values()) == 10
+        assert 0.0 <= report.essential_fraction <= 1.0
+        assert "essential" in report.render()
+
+    def test_seu_cost_is_one_rmw(self, campaign):
+        bit = used_route_bit(campaign, random.Random(2))
+        result = campaign.run_experiment(config_seu_fault(bit, 2), 15)
+        assert result.cost.transactions == 2  # frame read + frame write

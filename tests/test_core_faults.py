@@ -1,0 +1,95 @@
+"""Unit tests for fault descriptors and classification."""
+
+import pytest
+
+from repro.core import (Fault, FaultModel, Outcome, OutcomeCounts, Target,
+                        TargetKind, band_label, classify)
+from repro.hdl.trace import Trace
+
+
+class TestFaultDescriptors:
+    def test_transient_property(self):
+        assert FaultModel.PULSE.transient
+        assert FaultModel.DELAY.transient
+        assert FaultModel.INDETERMINATION.transient
+        assert not FaultModel.BITFLIP.transient
+        assert not FaultModel.STUCK_AT.transient
+
+    def test_whole_cycles(self):
+        fault = Fault(FaultModel.PULSE, Target(TargetKind.LUT, 0), 10,
+                      duration_cycles=7.6)
+        assert fault.whole_cycles == 7
+
+    @pytest.mark.parametrize("phase,duration,expected", [
+        (0.0, 0.5, False),
+        (0.6, 0.5, True),
+        (0.5, 0.5, True),
+        (0.0, 0.99, False),
+        (0.99, 0.05, True),
+        (0.2, 2.0, True),
+    ])
+    def test_straddles_edge(self, phase, duration, expected):
+        fault = Fault(FaultModel.PULSE, Target(TargetKind.LUT, 0), 10,
+                      duration_cycles=duration, phase=phase)
+        assert fault.straddles_edge is expected
+
+    def test_band_labels(self):
+        assert band_label(0.3) == "<1"
+        assert band_label(1.0) == "1-10"
+        assert band_label(10.0) == "1-10"
+        assert band_label(11.0) == "11-20"
+
+    def test_describe_mentions_location(self):
+        fault = Fault(FaultModel.BITFLIP,
+                      Target(TargetKind.MEMORY_BIT, 0, addr=5, bit=3), 2)
+        assert "memory[0]" in fault.describe()
+        assert "(5,3)" in fault.describe()
+
+
+def make_trace(samples, state):
+    trace = Trace(("out",))
+    trace.samples = [(s,) for s in samples]
+    trace.final_state = state
+    return trace
+
+
+class TestClassification:
+    def test_failure_when_outputs_differ(self):
+        golden = make_trace([1, 2, 3], ("s",))
+        faulty = make_trace([1, 9, 3], ("s",))
+        assert classify(golden, faulty) is Outcome.FAILURE
+
+    def test_latent_when_only_state_differs(self):
+        golden = make_trace([1, 2, 3], ("s",))
+        faulty = make_trace([1, 2, 3], ("t",))
+        assert classify(golden, faulty) is Outcome.LATENT
+
+    def test_silent_when_identical(self):
+        golden = make_trace([1, 2, 3], ("s",))
+        faulty = make_trace([1, 2, 3], ("s",))
+        assert classify(golden, faulty) is Outcome.SILENT
+
+    def test_unknown_output_is_failure(self):
+        # An X on a system output never matches a known golden value.
+        golden = make_trace([1, 2, 3], ("s",))
+        faulty = make_trace([1, None, 3], ("s",))
+        assert classify(golden, faulty) is Outcome.FAILURE
+
+    def test_counts_and_percentages(self):
+        counts = OutcomeCounts()
+        for outcome in (Outcome.FAILURE, Outcome.FAILURE, Outcome.LATENT,
+                        Outcome.SILENT):
+            counts.add(outcome)
+        assert counts.total == 4
+        assert counts.percent(Outcome.FAILURE) == 50.0
+        assert counts.as_dict()["latent"] == 25.0
+
+    def test_empty_counts(self):
+        counts = OutcomeCounts()
+        assert counts.percent(Outcome.FAILURE) == 0.0
+
+    def test_first_divergence(self):
+        golden = make_trace([1, 2, 3], ("s",))
+        faulty = make_trace([1, 9, 3], ("s",))
+        assert faulty.first_divergence(golden) == 1
+        assert golden.first_divergence(golden) is None

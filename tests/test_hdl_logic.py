@@ -1,0 +1,101 @@
+"""Unit tests for the four-valued logic primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hdl import logic
+
+VALUES = (logic.ZERO, logic.ONE, logic.X, logic.Z)
+binary = st.integers(min_value=0, max_value=1)
+fourval = st.sampled_from(VALUES)
+
+
+class TestCharConversion:
+    def test_roundtrip(self):
+        for value in VALUES:
+            assert logic.from_char(logic.to_char(value)) == value
+
+    def test_lowercase_accepted(self):
+        assert logic.from_char("x") == logic.X
+        assert logic.from_char("z") == logic.Z
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            logic.from_char("q")
+
+
+class TestGateSemantics:
+    @given(binary, binary)
+    def test_binary_inputs_match_python(self, a, b):
+        assert logic.and4(a, b) == (a & b)
+        assert logic.or4(a, b) == (a | b)
+        assert logic.xor4(a, b) == (a ^ b)
+        assert logic.not4(a) == 1 - a
+
+    def test_dominant_values_override_x(self):
+        assert logic.and4(logic.ZERO, logic.X) == logic.ZERO
+        assert logic.and4(logic.X, logic.ZERO) == logic.ZERO
+        assert logic.or4(logic.ONE, logic.X) == logic.ONE
+        assert logic.or4(logic.X, logic.ONE) == logic.ONE
+
+    def test_x_poisons_otherwise(self):
+        assert logic.and4(logic.ONE, logic.X) == logic.X
+        assert logic.or4(logic.ZERO, logic.X) == logic.X
+        assert logic.xor4(logic.ONE, logic.X) == logic.X
+        assert logic.not4(logic.X) == logic.X
+        assert logic.not4(logic.Z) == logic.X
+
+    @given(fourval, fourval)
+    def test_commutativity(self, a, b):
+        assert logic.and4(a, b) == logic.and4(b, a)
+        assert logic.or4(a, b) == logic.or4(b, a)
+        assert logic.xor4(a, b) == logic.xor4(b, a)
+
+    def test_mux_known_select(self):
+        assert logic.mux4(logic.ZERO, 1, 0) == 1
+        assert logic.mux4(logic.ONE, 1, 0) == 0
+
+    def test_mux_unknown_select_optimistic(self):
+        # Agreeing data inputs survive an unknown select.
+        assert logic.mux4(logic.X, 1, 1) == 1
+        assert logic.mux4(logic.X, 0, 1) == logic.X
+
+    def test_resolution(self):
+        assert logic.resolve(logic.Z, logic.ONE) == logic.ONE
+        assert logic.resolve(logic.ZERO, logic.Z) == logic.ZERO
+        assert logic.resolve(logic.ONE, logic.ONE) == logic.ONE
+        assert logic.resolve(logic.ONE, logic.ZERO) == logic.X
+
+
+class TestWordHelpers:
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_int_word_roundtrip(self, value):
+        assert logic.word_to_int(logic.int_to_word(value, 16)) == value
+
+    def test_word_to_int_rejects_x(self):
+        with pytest.raises(ValueError):
+            logic.word_to_int([1, logic.X, 0])
+
+    def test_word_to_int_or_none(self):
+        assert logic.word_to_int_or_none([1, 0, 1]) == 5
+        assert logic.word_to_int_or_none([1, logic.X]) is None
+
+    def test_negative_values_wrap(self):
+        assert logic.int_to_word(-1, 4) == [1, 1, 1, 1]
+
+    def test_word_to_str_msb_first(self):
+        assert logic.word_to_str([1, 0, logic.X]) == "X01"
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_parity_counts_ones(self, value):
+        assert logic.parity(value) == bin(value).count("1") % 2
+
+    def test_any_unknown(self):
+        assert logic.any_unknown([0, 1, logic.X])
+        assert logic.any_unknown([logic.Z])
+        assert not logic.any_unknown([0, 1, 1])
+
+    def test_is_known(self):
+        assert logic.is_known(0) and logic.is_known(1)
+        assert not logic.is_known(logic.X)
+        assert not logic.is_known(logic.Z)

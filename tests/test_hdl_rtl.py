@@ -1,0 +1,214 @@
+"""Unit tests for the RTL builder and the binary netlist simulator."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.hdl import NetlistSim, Rtl
+
+from helpers import build_accumulator, build_alu4, build_counter
+
+
+class TestCombinational:
+    def _run_comb(self, netlist, inputs):
+        sim = NetlistSim(netlist)
+        sim.reset()
+        return sim.step(inputs)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (9, 9), (15, 1),
+                                     (7, 12), (15, 15)])
+    def test_adder_matches_python(self, a, b):
+        outputs = self._run_comb(build_alu4(), {"a": a, "b": b, "op": 0})
+        assert outputs["result"] == (a + b) & 0xF
+        assert outputs["flag"] == ((a + b) >> 4)
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (5, 3), (3, 5), (0, 15),
+                                     (15, 15), (8, 9)])
+    def test_subtractor_matches_python(self, a, b):
+        outputs = self._run_comb(build_alu4(), {"a": a, "b": b, "op": 1})
+        assert outputs["result"] == (a - b) & 0xF
+        assert outputs["flag"] == (1 if a < b else 0)
+
+    def test_logic_ops(self):
+        outputs = self._run_comb(build_alu4(), {"a": 0b1100, "b": 0b1010,
+                                                "op": 2})
+        assert outputs["result"] == 0b1000
+        outputs = self._run_comb(build_alu4(), {"a": 0b1100, "b": 0b1010,
+                                                "op": 3})
+        assert outputs["result"] == 0b0110
+
+    def test_table_implements_arbitrary_function(self):
+        rtl = Rtl()
+        x = rtl.input("x", 5)
+        rtl.output("y", rtl.table(x, 3, lambda v: (v * 3 + 1) % 8))
+        netlist = rtl.build()
+        sim = NetlistSim(netlist)
+        for value in range(32):
+            assert sim.step({"x": value})["y"] == (value * 3 + 1) % 8
+
+    def test_select_with_default(self):
+        rtl = Rtl()
+        s = rtl.input("s", 2)
+        a = rtl.input("a", 4)
+        rtl.output("y", rtl.select(s, [a, rtl.not_(a)], default=rtl.const(9, 4)))
+        sim = NetlistSim(rtl.build())
+        assert sim.step({"s": 0, "a": 5})["y"] == 5
+        assert sim.step({"s": 1})["y"] == 0xA
+        assert sim.step({"s": 2})["y"] == 9
+        assert sim.step({"s": 3})["y"] == 9
+
+    def test_eq_and_is_zero(self):
+        rtl = Rtl()
+        a = rtl.input("a", 6)
+        b = rtl.input("b", 6)
+        rtl.output("eq", rtl.eq(a, b))
+        rtl.output("z", rtl.is_zero(a))
+        sim = NetlistSim(rtl.build())
+        assert sim.step({"a": 33, "b": 33}) == {"eq": 1, "z": 0}
+        assert sim.step({"a": 0, "b": 61}) == {"eq": 0, "z": 1}
+
+    def test_parity_via_reduce_xor(self):
+        rtl = Rtl()
+        a = rtl.input("a", 8)
+        rtl.output("p", rtl.reduce_xor(a))
+        sim = NetlistSim(rtl.build())
+        for value in (0, 1, 3, 0xFF, 0xA5, 0x80):
+            expected = bin(value).count("1") & 1
+            assert sim.step({"a": value})["p"] == expected
+
+
+class TestSequential:
+    def test_counter_counts_and_wraps(self):
+        sim = NetlistSim(build_counter(4))
+        sim.reset()
+        for expected in range(20):
+            outputs = sim.step({"en": 1})
+            assert outputs["value"] == expected % 16
+            assert outputs["tc"] == (1 if expected % 16 == 15 else 0)
+
+    def test_counter_enable_holds_value(self):
+        sim = NetlistSim(build_counter(4))
+        sim.reset()
+        sim.run(5, {"en": 1})
+        held = sim.step({"en": 0})["value"]
+        for _ in range(3):
+            assert sim.step()["value"] == held
+
+    def test_register_init_value(self):
+        rtl = Rtl()
+        reg = rtl.register("r", 8, init=0xC3)
+        reg.drive(rtl.inc(reg.q))
+        rtl.output("q", reg.q)
+        sim = NetlistSim(rtl.build())
+        sim.reset()
+        assert sim.step()["q"] == 0xC3
+        assert sim.step()["q"] == 0xC4
+        sim.reset()
+        assert sim.step()["q"] == 0xC3
+
+    def test_memory_registered_read(self):
+        sim = NetlistSim(build_accumulator())
+        sim.reset()
+        # Cycle 0 presents addr 2; the read data arrives (registered) on
+        # cycle 1 and is accumulated into acc, visible on cycle 2.
+        sim.step({"addr": 2, "load": 1})
+        sim.step({"addr": 2})
+        assert sim.step({"addr": 2})["acc_out"] == 7  # mem[2] = 3*2+1
+
+    def test_memory_write_read_roundtrip(self):
+        rtl = Rtl()
+        waddr = rtl.input("waddr", 3)
+        raddr = rtl.input("raddr", 3)
+        wdata = rtl.input("wdata", 8)
+        we = rtl.input("we", 1)
+        mem = rtl.memory("m", depth=8, width=8)
+        mem.connect(raddr=raddr, waddr=waddr, wdata=wdata, we=we)
+        rtl.output("rdata", mem.rdata)
+        sim = NetlistSim(rtl.build())
+        sim.reset()
+        sim.step({"waddr": 5, "wdata": 0x5A, "we": 1, "raddr": 5})
+        sim.step({"we": 0})
+        assert sim.step()["rdata"] == 0x5A
+        assert sim.mem_state("m")[5] == 0x5A
+
+    def test_read_first_semantics(self):
+        rtl = Rtl()
+        addr = rtl.input("addr", 2)
+        wdata = rtl.input("wdata", 4)
+        we = rtl.input("we", 1)
+        mem = rtl.memory("m", depth=4, width=4, init=[1, 2, 3, 4])
+        mem.connect(raddr=addr, waddr=addr, wdata=wdata, we=we)
+        rtl.output("rdata", mem.rdata)
+        sim = NetlistSim(rtl.build())
+        sim.reset()
+        # Write and read the same address on the same edge: the read must
+        # return the OLD contents (read-first).
+        sim.step({"addr": 1, "wdata": 9, "we": 1})
+        assert sim.step({"we": 0})["rdata"] == 2
+        assert sim.step()["rdata"] == 9
+
+
+class TestBuilderErrors:
+    def test_width_mismatch_rejected(self):
+        rtl = Rtl()
+        a = rtl.input("a", 4)
+        b = rtl.input("b", 5)
+        with pytest.raises(ElaborationError):
+            rtl.and_(a, b)
+
+    def test_undriven_register_rejected(self):
+        rtl = Rtl()
+        rtl.register("r", 2)
+        with pytest.raises(ElaborationError):
+            rtl.build()
+
+    def test_double_drive_rejected(self):
+        rtl = Rtl()
+        reg = rtl.register("r", 1)
+        reg.drive(rtl.const(0, 1))
+        with pytest.raises(ElaborationError):
+            reg.drive(rtl.const(1, 1))
+
+    def test_duplicate_names_rejected(self):
+        rtl = Rtl()
+        rtl.input("a", 1)
+        with pytest.raises(ElaborationError):
+            rtl.input("a", 2)
+
+    def test_rom_write_rejected(self):
+        rtl = Rtl()
+        addr = rtl.input("addr", 2)
+        mem = rtl.memory("rom", depth=4, width=4, init=[1, 2, 3], rom=True)
+        with pytest.raises(ElaborationError):
+            mem.connect(raddr=addr, we=rtl.const(1, 1))
+
+    def test_unconnected_memory_rejected(self):
+        rtl = Rtl()
+        rtl.memory("m", depth=4, width=4)
+        with pytest.raises(ElaborationError):
+            rtl.build()
+
+    def test_constant_too_wide_rejected(self):
+        rtl = Rtl()
+        with pytest.raises(ElaborationError):
+            rtl.const(16, 4)
+
+
+class TestConstantFolding:
+    def test_and_with_constants_emits_no_gates(self):
+        rtl = Rtl()
+        a = rtl.input("a", 4)
+        rtl.output("y", rtl.and_(a, rtl.const(0xF, 4)))
+        rtl.output("z", rtl.and_(a, rtl.const(0x0, 4)))
+        netlist = rtl.build()
+        assert len(netlist.gates) == 0
+
+    def test_xor_self_cancels(self):
+        rtl = Rtl()
+        a = rtl.input("a", 4)
+        rtl.output("y", rtl.xor_(a, a))
+        assert len(rtl.build().gates) == 0
+
+    def test_unit_tags_recorded(self):
+        netlist = build_alu4()
+        units = {gate.unit for gate in netlist.gates}
+        assert units == {"ALU"}

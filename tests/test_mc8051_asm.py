@@ -1,0 +1,127 @@
+"""Tests for the 8051-subset assembler and disassembler."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.mc8051 import OPCODES, assemble, disassemble
+from repro.mc8051.asm import parse_number
+
+
+class TestNumbers:
+    def test_decimal(self):
+        assert parse_number("42") == 42
+
+    def test_hex_prefix(self):
+        assert parse_number("0x2A") == 42
+
+    def test_hex_suffix(self):
+        assert parse_number("2Ah") == 42
+
+    def test_symbols(self):
+        assert parse_number("P1", {"P1": 0x90}) == 0x90
+
+    def test_garbage_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_number("zz9")
+
+
+class TestEncodings:
+    @pytest.mark.parametrize("source,expected", [
+        ("NOP", b"\x00"),
+        ("MOV A,#0x42", b"\x74\x42"),
+        ("MOV R3,#7", b"\x7b\x07"),
+        ("MOV A,R5", b"\xed"),
+        ("MOV R2,A", b"\xfa"),
+        ("MOV A,@R1", b"\xe7"),
+        ("MOV @R0,A", b"\xf6"),
+        ("MOV @R1,#9", b"\x77\x09"),
+        ("MOV A,0x30", b"\xe5\x30"),
+        ("MOV 0x90,A", b"\xf5\x90"),
+        ("MOV 0x31,#0xAB", b"\x75\x31\xab"),
+        ("ADD A,#1", b"\x24\x01"),
+        ("ADD A,R0", b"\x28"),
+        ("SUBB A,@R0", b"\x96"),
+        ("ANL A,#0x0F", b"\x54\x0f"),
+        ("ORL A,R7", b"\x4f"),
+        ("XRL A,0x40", b"\x65\x40"),
+        ("INC A", b"\x04"),
+        ("DEC R4", b"\x1c"),
+        ("INC @R1", b"\x07"),
+        ("CLR A", b"\xe4"),
+        ("CPL A", b"\xf4"),
+        ("RL A", b"\x23"),
+        ("RR A", b"\x03"),
+        ("CLR C", b"\xc3"),
+        ("SETB C", b"\xd3"),
+        ("CPL C", b"\xb3"),
+        ("XCH A,R1", b"\xc9"),
+        ("XCH A,@R0", b"\xc6"),
+        ("LJMP 0x123", b"\x02\x01\x23"),
+    ])
+    def test_single_instruction(self, source, expected):
+        assert assemble(source) == expected
+
+    def test_relative_branches(self):
+        code = assemble("here: SJMP here")
+        assert code == b"\x80\xfe"
+        code = assemble("JZ skip\nNOP\nskip: NOP")
+        assert code == b"\x60\x01\x00\x00"
+
+    def test_cjne_and_djnz(self):
+        code = assemble("loop: CJNE A,#5,loop")
+        assert code == b"\xb4\x05\xfd"
+        code = assemble("loop: DJNZ R2,loop")
+        assert code == b"\xda\xfe"
+        code = assemble("loop: DJNZ 0x40,loop")
+        assert code == b"\xd5\x40\xfd"
+
+    def test_forward_reference(self):
+        code = assemble("SJMP target\nNOP\nNOP\ntarget: NOP")
+        assert code[0] == 0x80
+        assert code[1] == 0x02
+
+    def test_branch_out_of_range_rejected(self):
+        source = "SJMP far\n" + "NOP\n" * 200 + "far: NOP"
+        with pytest.raises(WorkloadError):
+            assemble(source)
+
+    def test_db_org_equ(self):
+        code = assemble("""
+P1 EQU 0x90
+    ORG 0x10
+    MOV P1,A
+    DB 1, 2, 0xFF
+""")
+        assert code[0x10:0x12] == b"\xf5\x90"
+        assert code[0x12:0x15] == b"\x01\x02\xff"
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(WorkloadError):
+            assemble("FROB A,#1")
+
+    def test_unknown_operand_combo_rejected(self):
+        with pytest.raises(WorkloadError):
+            assemble("RL R3")
+
+
+class TestDisassembler:
+    def test_roundtrip_every_opcode(self):
+        # Build a one-instruction image per opcode and check the
+        # disassembler renders the right mnemonic and length.
+        for code, spec in OPCODES.items():
+            image = bytes([code, 0x10, 0x20][:spec.length])
+            listing = disassemble(image)
+            assert len(listing) == 1
+            addr, text = listing[0]
+            assert addr == 0
+            assert text.split()[0] == spec.mnemonic
+
+    def test_relative_target_rendering(self):
+        listing = disassemble(b"\x80\xfe")
+        assert "0x0000" in listing[0][1]
+
+    def test_linear_sweep(self):
+        image = assemble("MOV A,#1\nADD A,#2\ndone: SJMP done")
+        listing = disassemble(image)
+        assert [text.split()[0] for _a, text in listing] == [
+            "MOV", "ADD", "SJMP"]

@@ -1,0 +1,253 @@
+"""Tests for the ISS semantics and ISS-vs-RTL equivalence."""
+
+import random
+
+import pytest
+
+from repro.hdl import NetlistSim
+from repro.mc8051 import (Iss, assemble, build_mc8051, array_sum,
+                          bubblesort, fibonacci, multiply,
+                          quick_bubblesort)
+from repro.mc8051.isa import OPCODES
+
+TERMINAL = "done: SJMP done\n"
+
+
+def run_iss(source_or_bytes, max_cycles=100_000):
+    rom = (source_or_bytes if isinstance(source_or_bytes, bytes)
+           else assemble(source_or_bytes))
+    iss = Iss(rom)
+    iss.run_until_idle(max_cycles)
+    return iss
+
+
+def run_rtl(rom: bytes, cycles: int):
+    model = build_mc8051(rom)
+    sim = NetlistSim(model.netlist)
+    sim.reset()
+    p1_changes = []
+    last = 0
+    for _ in range(cycles):
+        out = sim.step()
+        if out["p1_out"] != last:
+            last = out["p1_out"]
+            p1_changes.append(last)
+    return sim, p1_changes
+
+
+def assert_equivalent(source: str):
+    """ISS and RTL agree on IRAM, ACC and the P1 change sequence.
+
+    One extra settle cycle is run so that ``peek`` (which reflects the
+    evaluation phase, one capture behind the stored state) observes the
+    post-workload values; the program is in its terminal self-loop by
+    then, so nothing changes architecturally.
+    """
+    rom = assemble(source)
+    iss = run_iss(rom)
+    sim, p1_changes = run_rtl(rom, iss.cycles + 1)
+    assert tuple(iss.iram) == sim.mem_state("iram")
+    assert sim.peek("acc") == iss.acc
+    assert sim.peek("p1") == iss.p1
+    iss_changes = []
+    last = 0
+    for _cycle, value in iss.p1_writes:
+        if value != last:
+            last = value
+            iss_changes.append(value)
+    assert p1_changes == iss_changes
+
+
+class TestIssSemantics:
+    def test_add_sets_carry_and_ov(self):
+        iss = run_iss("MOV A,#0x90\nADD A,#0x90\n" + TERMINAL)
+        assert iss.acc == 0x20
+        assert iss.cy == 1
+        assert iss.ov == 1  # -112 + -112 overflows signed
+
+    def test_add_aux_carry(self):
+        iss = run_iss("MOV A,#0x0F\nADD A,#0x01\n" + TERMINAL)
+        assert iss.acc == 0x10
+        assert iss.ac == 1
+        assert iss.cy == 0
+
+    def test_subb_borrow_chain(self):
+        iss = run_iss("CLR C\nMOV A,#5\nSUBB A,#7\n" + TERMINAL)
+        assert iss.acc == 0xFE
+        assert iss.cy == 1
+        iss = run_iss("SETB C\nMOV A,#5\nSUBB A,#2\n" + TERMINAL)
+        assert iss.acc == 2  # 5 - 2 - 1
+
+    def test_cjne_sets_carry_on_less(self):
+        iss = run_iss("MOV A,#3\nCJNE A,#9,skip\nskip: NOP\n" + TERMINAL)
+        assert iss.cy == 1
+        iss = run_iss("MOV A,#9\nCJNE A,#3,skip\nskip: NOP\n" + TERMINAL)
+        assert iss.cy == 0
+
+    def test_djnz_loops_exact_count(self):
+        iss = run_iss("MOV R2,#5\nMOV A,#0\nloop: INC A\nDJNZ R2,loop\n"
+                      + TERMINAL)
+        assert iss.acc == 5
+
+    def test_xch_swaps(self):
+        iss = run_iss("MOV A,#1\nMOV R3,#9\nXCH A,R3\n" + TERMINAL)
+        assert iss.acc == 9
+        assert iss.iram[3] == 1
+
+    def test_indirect_addressing(self):
+        iss = run_iss("MOV R0,#0x40\nMOV @R0,#0x5A\nMOV A,@R0\n" + TERMINAL)
+        assert iss.acc == 0x5A
+        assert iss.iram[0x40] == 0x5A
+
+    def test_bank_switching_via_psw(self):
+        iss = run_iss("MOV R0,#0x11\nMOV 0xD0,#0x08\nMOV R0,#0x22\n"
+                      "MOV 0xD0,#0x00\n" + TERMINAL)
+        assert iss.iram[0] == 0x11   # bank 0 R0
+        assert iss.iram[8] == 0x22   # bank 1 R0
+
+    def test_parity_in_psw(self):
+        iss = run_iss("MOV A,#0x03\n" + TERMINAL)
+        assert iss.psw & 1 == 0      # two ones -> even parity bit 0
+        iss = run_iss("MOV A,#0x07\n" + TERMINAL)
+        assert iss.psw & 1 == 1
+
+    def test_sfr_readback(self):
+        iss = run_iss("MOV 0x81,#0x55\nMOV A,0x81\n" + TERMINAL)
+        assert iss.acc == 0x55
+        assert iss.sp == 0x55
+
+    def test_rotate_ops(self):
+        iss = run_iss("MOV A,#0x81\nRL A\n" + TERMINAL)
+        assert iss.acc == 0x03
+        iss = run_iss("MOV A,#0x81\nRR A\n" + TERMINAL)
+        assert iss.acc == 0xC0
+
+    def test_cycles_match_spec(self):
+        source = "MOV A,#1\nADD A,#2\nMOV 0x30,A\n" + TERMINAL
+        iss = Iss(assemble(source))
+        counts = [iss.step_instruction() for _ in range(3)]
+        assert counts[0] == OPCODES[0x74].cycles()
+        assert counts[1] == OPCODES[0x24].cycles()
+        assert counts[2] == OPCODES[0xF5].cycles()
+
+
+class TestRtlEquivalence:
+    @pytest.mark.parametrize("source", [
+        "MOV A,#0x42\nMOV 0x30,A\n" + TERMINAL,
+        "MOV R0,#0x40\nMOV @R0,#7\nINC @R0\nMOV A,@R0\n" + TERMINAL,
+        "MOV A,#0x90\nADD A,#0x90\nMOV 0x31,A\n" + TERMINAL,
+        "CLR C\nMOV A,#5\nSUBB A,#7\nMOV R6,A\n" + TERMINAL,
+        "MOV R2,#5\nMOV A,#0\nloop: INC A\nDJNZ R2,loop\n" + TERMINAL,
+        "MOV A,#1\nMOV R3,#9\nXCH A,R3\n" + TERMINAL,
+        "MOV A,#0x81\nRL A\nRR A\nRR A\n" + TERMINAL,
+        "MOV 0xD0,#0x08\nMOV R0,#0x22\nMOV 0xD0,#0\nMOV A,R0\n" + TERMINAL,
+        "MOV 0x90,#0xAA\nMOV A,0x90\nCPL A\nMOV 0xA0,A\n" + TERMINAL,
+    ])
+    def test_directed_programs(self, source):
+        assert_equivalent(source)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_straightline_programs(self, seed):
+        rng = random.Random(seed)
+        lines = ["MOV R0,#0x30", "MOV R1,#0x40"]
+        safe_ops = [
+            lambda: f"MOV A,#{rng.randrange(256)}",
+            lambda: f"MOV R{rng.randrange(8)},#{rng.randrange(256)}",
+            lambda: f"MOV A,R{rng.randrange(8)}",
+            lambda: f"MOV R{rng.randrange(8)},A",
+            lambda: f"ADD A,#{rng.randrange(256)}",
+            lambda: f"ADD A,R{rng.randrange(8)}",
+            lambda: f"SUBB A,#{rng.randrange(256)}",
+            lambda: f"ANL A,#{rng.randrange(256)}",
+            lambda: f"ORL A,R{rng.randrange(8)}",
+            lambda: f"XRL A,#{rng.randrange(256)}",
+            lambda: "INC A",
+            lambda: "DEC A",
+            lambda: f"INC R{rng.randrange(8)}",
+            lambda: "CLR C",
+            lambda: "SETB C",
+            lambda: "CPL A",
+            lambda: "RL A",
+            lambda: "RR A",
+            lambda: f"MOV 0x{rng.randrange(0x30, 0x60):02x},A",
+            lambda: f"MOV A,0x{rng.randrange(0x30, 0x60):02x}",
+            lambda: "MOV A,@R0",
+            lambda: "MOV @R0,A",
+            lambda: f"XCH A,R{rng.randrange(8)}",
+            lambda: "MOV 0x90,A",
+        ]
+        for _ in range(40):
+            lines.append(rng.choice(safe_ops)())
+        source = "\n".join(lines) + "\n" + TERMINAL
+        assert_equivalent(source)
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("workload", [
+        quick_bubblesort(),
+        bubblesort([5, 4, 3, 2, 1]),
+        bubblesort([1, 2, 3]),
+        array_sum([10, 20, 30, 40]),
+        fibonacci(8),
+        multiply(13, 11),
+        multiply(255, 255),
+        multiply(0, 77),
+    ], ids=lambda wl: wl.name)
+    def test_iss_produces_expected_outputs(self, workload):
+        iss = Iss(workload.rom)
+        iss.run_until_idle()
+        assert [value for _c, value in iss.p1_writes] == workload.expected_p1
+        assert workload.terminal_loop
+
+    def test_bubblesort_sorts_in_iram(self):
+        workload = quick_bubblesort()
+        iss = Iss(workload.rom)
+        iss.run_until_idle()
+        n = len(workload.expected_p1)
+        assert iss.iram[0x30:0x30 + n] == workload.expected_p1
+
+    def test_rtl_runs_bubblesort(self):
+        workload = quick_bubblesort()
+        iss = Iss(workload.rom)
+        iss.run_until_idle()
+        sim, p1_changes = run_rtl(workload.rom, iss.cycles)
+        assert p1_changes[-len(workload.expected_p1):] == \
+            workload.expected_p1 or p1_changes == [
+                v for v in workload.expected_p1]
+
+    def test_rtl_runs_multiply(self):
+        assert_equivalent("""
+        MOV R1,#13
+        MOV R2,#0
+        MOV R3,#11
+        MOV R4,#0
+        MOV R5,#0
+        MOV R6,#8
+loop:   MOV A,R3
+        ANL A,#1
+        JZ skip
+        MOV A,R4
+        ADD A,R1
+        MOV R4,A
+        MOV A,R5
+        JNC nocarry
+        INC A
+nocarry: ADD A,R2
+        MOV R5,A
+skip:   MOV A,R3
+        RR A
+        MOV R3,A
+        MOV A,R1
+        ADD A,R1
+        MOV R1,A
+        MOV A,R2
+        JNC nc2
+        ADD A,R2
+        INC A
+        SJMP sh2
+nc2:    ADD A,R2
+sh2:    MOV R2,A
+        DJNZ R6,loop
+        MOV A,R4
+        MOV 0x90,A
+""" + TERMINAL)

@@ -1,0 +1,214 @@
+"""Tests for the stack/subroutine ISA extension (PUSH/POP/LCALL/RET/ADDC)."""
+
+import pytest
+
+from repro.hdl import NetlistSim
+from repro.mc8051 import Iss, assemble, build_mc8051, sum_of_squares
+from repro.mc8051.isa import OPCODES
+
+from test_mc8051_cpu import TERMINAL, assert_equivalent, run_iss
+
+
+class TestIssStack:
+    def test_push_increments_sp_then_stores(self):
+        iss = run_iss("MOV A,#0x42\nPUSH 0xE0\n" + TERMINAL)
+        assert iss.sp == 0x08
+        assert iss.iram[0x08] == 0x42
+
+    def test_pop_loads_then_decrements(self):
+        iss = run_iss("MOV A,#0x42\nPUSH 0xE0\nCLR A\nPOP 0xF0\n" + TERMINAL)
+        assert iss.sp == 0x07
+        assert iss.b == 0x42
+
+    def test_push_pop_direct_iram(self):
+        iss = run_iss("MOV 0x40,#9\nPUSH 0x40\nPOP 0x41\n" + TERMINAL)
+        assert iss.iram[0x41] == 9
+
+    def test_pop_to_psw_restores_flags(self):
+        iss = run_iss("SETB C\nPUSH 0xD0\nCLR C\nPOP 0xD0\n" + TERMINAL)
+        assert iss.cy == 1
+
+    def test_lcall_pushes_return_address(self):
+        iss = run_iss("LCALL sub\ndone: SJMP done\nsub: RET\n")
+        # Return address (3 = the byte after LCALL) was on the stack.
+        assert iss.pc == 3  # settled in the terminal loop at 'done'
+        assert iss.sp == 0x07  # balanced
+
+    def test_nested_calls(self):
+        iss = run_iss("""
+        MOV A,#1
+        LCALL outer
+        MOV 0x90,A
+done:   SJMP done
+outer:  ADD A,#10
+        LCALL inner
+        ADD A,#10
+        RET
+inner:  ADD A,#100
+        RET
+""")
+        assert iss.p1 == 121
+        assert iss.sp == 0x07
+
+    def test_addc_uses_carry(self):
+        iss = run_iss("MOV A,#0xFF\nADD A,#1\nMOV A,#0\nADDC A,#0\n"
+                      + TERMINAL)
+        assert iss.acc == 1  # the carry from the first ADD rolled in
+
+    def test_addc_register_form(self):
+        iss = run_iss("SETB C\nMOV R4,#7\nMOV A,#2\nADDC A,R4\n" + TERMINAL)
+        assert iss.acc == 10
+
+    def test_cycle_counts(self):
+        assert OPCODES[0xC0].cycles() == 6   # PUSH direct
+        assert OPCODES[0xD0].cycles() == 6   # POP direct
+        assert OPCODES[0x12].cycles() == 7   # LCALL
+        assert OPCODES[0x22].cycles() == 5   # RET
+
+
+class TestRtlStack:
+    @pytest.mark.parametrize("source", [
+        "MOV A,#0x42\nPUSH 0xE0\nCLR A\nPOP 0xF0\n" + TERMINAL,
+        "MOV 0x40,#9\nPUSH 0x40\nPOP 0x41\n" + TERMINAL,
+        "SETB C\nPUSH 0xD0\nCLR C\nPOP 0xD0\nMOV A,#0\nADDC A,#0\n"
+        + TERMINAL,
+        "LCALL sub\ndone: SJMP done\nsub: MOV A,#3\nRET\n",
+        "MOV A,#0xF0\nADD A,#0x20\nMOV A,#1\nADDC A,#1\nMOV R7,A\n"
+        + TERMINAL,
+    ])
+    def test_directed_equivalence(self, source):
+        assert_equivalent(source)
+
+    def test_nested_calls_equivalence(self):
+        assert_equivalent("""
+        MOV A,#1
+        LCALL outer
+        MOV 0x90,A
+done:   SJMP done
+outer:  ADD A,#10
+        LCALL inner
+        ADD A,#10
+        RET
+inner:  ADD A,#100
+        RET
+""")
+
+    def test_pop_to_sfr_equivalence(self):
+        assert_equivalent("MOV A,#0x5A\nPUSH 0xE0\nCLR A\nPOP 0x90\n"
+                          + TERMINAL)
+
+    def test_cycle_exactness_through_calls(self):
+        source = "LCALL sub\nMOV 0x90,A\ndone: SJMP done\nsub: INC A\nRET\n"
+        rom = assemble(source)
+        iss = Iss(rom)
+        iss.run_until_idle()
+        sim = NetlistSim(build_mc8051(rom).netlist)
+        sim.reset()
+        for _ in range(iss.cycles + 1):
+            sim.step()
+        assert sim.peek("acc") == iss.acc
+        assert sim.peek("p1") == iss.p1
+        assert sim.peek("sp") == iss.sp
+
+
+class TestSumOfSquaresWorkload:
+    def test_oracle(self):
+        workload = sum_of_squares([3, 4, 5])
+        iss = Iss(workload.rom)
+        iss.run_until_idle()
+        assert [v for _c, v in iss.p1_writes] == workload.expected_p1
+        assert iss.sp == 0x07  # stack balanced at the end
+
+    def test_rtl_runs_it(self):
+        workload = sum_of_squares([2, 3])
+        iss = Iss(workload.rom)
+        iss.run_until_idle()
+        sim = NetlistSim(build_mc8051(workload.rom).netlist)
+        sim.reset()
+        for _ in range(iss.cycles + 1):
+            sim.step()
+        assert sim.peek("p1") == (4 + 9) & 0xFF
+
+    def test_stack_region_faults_break_return_addresses(self):
+        # A bit-flip in the stack region while a call is live corrupts
+        # the return address — a failure mode Bubblesort cannot exhibit.
+        from repro.core import (Fault, FaultModel, Outcome, Target,
+                                TargetKind, build_fades)
+        workload = sum_of_squares([5, 6, 7])
+        iss = Iss(workload.rom)
+        iss.run_until_idle()
+        fades = build_fades(build_mc8051(workload.rom).netlist, seed=5)
+        mem_index = fades.locmap.memory("iram")
+        outcomes = set()
+        # IRAM 0x08 holds the pushed low return-address byte while a call
+        # is live; flips during the squaring loops divert the RET.
+        for start in (120, 210, 300, 390):
+            fault = Fault(
+                FaultModel.BITFLIP,
+                Target(TargetKind.MEMORY_BIT, mem_index, addr=0x08, bit=1),
+                start)
+            outcomes.add(
+                fades.run_experiment(fault, iss.cycles + 4).outcome)
+        assert Outcome.FAILURE in outcomes
+
+
+class TestDptrAndMovc:
+    @pytest.mark.parametrize("source", [
+        "MOV DPTR,#0x0123\nMOV A,0x82\nMOV R1,A\nMOV A,0x83\n" + TERMINAL,
+        "MOV DPTR,#0x00FF\nINC DPTR\nMOV A,0x83\n" + TERMINAL,
+        "MOV DPTR,#tab\nMOV A,#1\nMOVC A,@A+DPTR\nMOV 0x90,A\n"
+        "done: SJMP done\ntab: DB 5, 9, 13\n",
+    ])
+    def test_directed_equivalence(self, source):
+        assert_equivalent(source)
+
+    def test_dptr_load_and_readback(self):
+        iss = run_iss("MOV DPTR,#0x0456\n" + TERMINAL)
+        assert (iss.dph, iss.dpl) == (0x04, 0x56)
+
+    def test_inc_dptr_carries(self):
+        iss = run_iss("MOV DPTR,#0x01FF\nINC DPTR\n" + TERMINAL)
+        assert (iss.dph, iss.dpl) == (0x02, 0x00)
+
+    def test_movc_indexes_with_acc(self):
+        iss = run_iss("MOV DPTR,#tab\nMOV A,#3\nMOVC A,@A+DPTR\n"
+                      "done: SJMP done\ntab: DB 11, 22, 33, 44\n")
+        assert iss.acc == 44
+
+    def test_table_lookup_workload(self):
+        from repro.mc8051 import table_lookup
+        workload = table_lookup([3, 18, 7])
+        iss = Iss(workload.rom)
+        iss.run_until_idle()
+        assert [v for _c, v in iss.p1_writes] == workload.expected_p1 \
+            == [9, 4, 49]
+
+    def test_table_lookup_rtl(self):
+        from repro.mc8051 import table_lookup
+        workload = table_lookup([5, 12])
+        iss = Iss(workload.rom)
+        iss.run_until_idle()
+        sim = NetlistSim(build_mc8051(workload.rom).netlist)
+        sim.reset()
+        for _ in range(iss.cycles + 1):
+            sim.step()
+        assert sim.peek("p1") == workload.expected_p1[-1]
+
+    def test_rom_fault_corrupts_table_lookup(self):
+        # A bit-flip in the ROM block's table region changes the emitted
+        # transform — the location class this workload exists to expose.
+        from repro.core import (Fault, FaultModel, Outcome, Target,
+                                TargetKind, build_fades)
+        from repro.mc8051 import table_lookup
+        workload = table_lookup([3, 3, 3])
+        iss = Iss(workload.rom)
+        iss.run_until_idle()
+        fades = build_fades(build_mc8051(workload.rom).netlist, seed=3)
+        rom_index = fades.locmap.memory("rom")
+        table_addr = workload.rom.index(bytes([0, 1, 4, 9])) + 3
+        fault = Fault(
+            FaultModel.BITFLIP,
+            Target(TargetKind.MEMORY_BIT, rom_index, addr=table_addr,
+                   bit=1), 2)
+        result = fades.run_experiment(fault, iss.cycles + 4)
+        assert result.outcome is Outcome.FAILURE

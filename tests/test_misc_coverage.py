@@ -1,0 +1,113 @@
+"""Coverage for the smaller utility modules: traces, board, result tables."""
+
+import pytest
+
+from repro.core import ResultRow, render_table
+from repro.fpga.board import Board, BoardParams
+from repro.hdl import NetlistSim, Trace, capture_run
+
+from helpers import build_counter
+
+
+class TestTraceModule:
+    def test_capture_run_records_every_cycle(self):
+        sim = NetlistSim(build_counter(4))
+        sim.reset()
+        trace = capture_run(sim, 10, ["value", "tc"], inputs={"en": 1})
+        assert len(trace.samples) == 10
+        assert trace.cycles == 10
+        assert trace.output_names == ("value", "tc")
+        assert trace.samples[3][0] == 3
+
+    def test_capture_run_decimated_sampling(self):
+        sim = NetlistSim(build_counter(4))
+        sim.reset()
+        trace = capture_run(sim, 12, ["value"], inputs={"en": 1},
+                            sample_every=4)
+        assert len(trace.samples) == 3
+        assert trace.cycles == 12
+
+    def test_first_divergence_prefix_semantics(self):
+        a = Trace(("o",))
+        a.samples = [(1,), (2,)]
+        b = Trace(("o",))
+        b.samples = [(1,), (2,), (3,)]
+        assert a.first_divergence(b) == 2
+        assert b.first_divergence(a) == 2
+
+    def test_same_state_compares_final_snapshots(self):
+        a = Trace(("o",))
+        b = Trace(("o",))
+        a.final_state = ("x",)
+        b.final_state = ("y",)
+        assert not a.same_state(b)
+        b.final_state = ("x",)
+        assert a.same_state(b)
+
+
+class TestBoardModule:
+    def test_transaction_cost_formula(self):
+        board = Board(BoardParams(latency_s=0.1,
+                                  bandwidth_bytes_per_s=1000.0))
+        seconds = board.transaction("write", "cb", 500)
+        assert seconds == pytest.approx(0.1 + 0.5)
+        assert board.total_seconds == pytest.approx(0.6)
+        assert board.total_bytes == 500
+
+    def test_snapshot_since(self):
+        board = Board()
+        marker = board.snapshot()
+        board.transaction("read", "cb", 100)
+        board.transaction("write", "cb", 100)
+        count, seconds = board.since(marker)
+        assert count == 2
+        assert seconds == pytest.approx(board.total_seconds)
+
+    def test_labels_and_clear(self):
+        board = Board()
+        board.set_label("alpha")
+        board.transaction("read", "cb", 10)
+        board.set_label("beta")
+        board.transaction("read", "cb", 10)
+        assert set(board.seconds_by_label()) == {"alpha", "beta"}
+        board.clear()
+        assert board.total_seconds == 0.0
+        assert board.transactions == []
+
+    def test_workload_seconds_uses_clock(self):
+        board = Board(BoardParams(clock_hz=1e6))
+        assert board.workload_seconds(2_000_000) == pytest.approx(2.0)
+
+
+class TestResultTables:
+    def _row(self):
+        return ResultRow(fault_model="pulse", location="ALU",
+                         duration_band="1-10", failure_pct=12.5,
+                         latent_pct=25.0, silent_pct=62.5,
+                         mean_emulation_s=0.3, n_faults=8)
+
+    def test_row_render(self):
+        text = self._row().render()
+        assert "pulse" in text
+        assert "12.5%" in text
+        assert "n=8" in text
+
+    def test_render_table_with_note(self):
+        text = render_table("My table", [self._row()], note="footnote")
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert lines[1] == "=" * len("My table")
+        assert lines[-1] == "footnote"
+
+    def test_row_from_campaign(self):
+        from repro.core import (FaultLoadSpec, FaultModel,
+                                row_from_campaign)
+        from test_core_injector import make_campaign
+        campaign = make_campaign(build_counter(4), inputs={"en": 1})
+        spec = FaultLoadSpec(FaultModel.BITFLIP, "ffs", count=4,
+                             workload_cycles=20)
+        result = campaign.run(spec, seed=1)
+        row = row_from_campaign(result, "bitflip", "FFs", "1-10")
+        assert row.n_faults == 4
+        assert row.failure_pct + row.latent_pct + row.silent_pct == \
+            pytest.approx(100.0)

@@ -1,0 +1,98 @@
+"""Tests for declarative campaign spec files."""
+
+import json
+
+import pytest
+
+from repro.analysis import load_spec, run_spec, run_spec_file
+from repro.errors import WorkloadError
+
+
+def write_spec(tmp_path, spec):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+BASIC = {
+    "workload": {"type": "bubblesort", "values": [7, 2, 5]},
+    "seed": 3,
+    "experiments": [
+        {"name": "flips", "model": "bitflip", "pool": "ffs", "count": 3},
+    ],
+}
+
+
+class TestLoading:
+    def test_valid_spec_loads(self, tmp_path):
+        spec = load_spec(write_spec(tmp_path, BASIC))
+        assert spec["experiments"][0]["model"] == "bitflip"
+
+    def test_missing_experiments_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_spec(write_spec(tmp_path, {"workload": {}}))
+
+    def test_empty_experiments_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_spec(write_spec(tmp_path, {"experiments": []}))
+
+    def test_unknown_model_rejected(self, tmp_path):
+        bad = dict(BASIC, experiments=[{"model": "gremlin"}])
+        with pytest.raises(ValueError):
+            load_spec(write_spec(tmp_path, bad))
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        bad = dict(BASIC, workload={"type": "quicksort"})
+        with pytest.raises(WorkloadError):
+            load_spec(write_spec(tmp_path, bad))
+
+
+class TestRunning:
+    def test_report_structure(self, tmp_path):
+        report = run_spec_file(write_spec(tmp_path, BASIC))
+        assert report["workload"] == "bubblesort3"
+        assert len(report["experiments"]) == 1
+        record = report["experiments"][0]
+        assert record["failure"] + record["latent"] + record["silent"] == 3
+        assert 0 <= record["failure_pct"] <= 100
+        low, high = record["failure_ci_pct"]
+        assert 0 <= low <= record["failure_pct"] <= high <= 100
+        assert record["mean_emulation_s"] > 0
+
+    def test_output_file_written(self, tmp_path):
+        out = tmp_path / "report.json"
+        run_spec_file(write_spec(tmp_path, BASIC), str(out))
+        loaded = json.loads(out.read_text())
+        assert loaded["experiments"][0]["name"] == "flips"
+
+    def test_unsupported_experiment_recorded_not_fatal(self, tmp_path):
+        spec = dict(BASIC, experiments=[
+            {"name": "bad", "tool": "vfit", "model": "delay",
+             "pool": "nets:seq", "count": 2},
+            {"name": "good", "model": "bitflip", "pool": "ffs", "count": 2},
+        ])
+        report = run_spec(load_spec(write_spec(tmp_path, spec)))
+        assert "error" in report["experiments"][0]
+        assert "failure" in report["experiments"][1]
+
+    def test_alternate_workload(self, tmp_path):
+        spec = {
+            "workload": {"type": "fibonacci", "terms": 6},
+            "experiments": [
+                {"model": "bitflip", "pool": "ffs", "count": 2}],
+        }
+        report = run_spec(load_spec(write_spec(tmp_path, spec)))
+        assert report["workload"] == "fibonacci6"
+
+    def test_cli_run_spec(self, tmp_path, capsys):
+        from repro.cli import main
+        path = write_spec(tmp_path, BASIC)
+        out = tmp_path / "report.json"
+        assert main(["run-spec", path, "-o", str(out)]) == 0
+        assert out.exists()
+        assert "experiments" in capsys.readouterr().out
+
+    def test_cli_run_spec_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["run-spec", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,205 @@
+"""Tests for optimisation, technology mapping and the location map."""
+
+import pytest
+
+from repro.errors import LocationError
+from repro.hdl import NetlistSim, Rtl
+from repro.synth import (LUT_INPUTS, MappedSim, optimize, synthesize,
+                         techmap)
+
+from helpers import (build_accumulator, build_alu4, build_counter,
+                     random_netlist, random_stimulus)
+
+
+def assert_equivalent(netlist, cycles=30, seed=1):
+    """Source netlist and synthesised implementation behave identically."""
+    result = synthesize(netlist)
+    ref = NetlistSim(netlist)
+    impl = MappedSim(result.mapped)
+    ref.reset()
+    impl.reset()
+    names = list(netlist.inputs)
+    widths = [len(netlist.inputs[name]) for name in names]
+    for vector in random_stimulus(seed, names, widths, cycles):
+        assert ref.step(vector) == impl.step(vector)
+
+
+class TestOptimize:
+    def test_dedup_merges_identical_gates(self):
+        rtl = Rtl()
+        a = rtl.input("a", 1)
+        b = rtl.input("b", 1)
+        x = rtl.and_(a, b)
+        y = rtl.and_(a, b)
+        rtl.output("o1", x)
+        rtl.output("o2", y)
+        result = optimize(rtl.build())
+        assert result.stats["merged"] >= 1
+        assert len(result.netlist.gates) == 1
+
+    def test_dead_logic_removed(self):
+        rtl = Rtl()
+        a = rtl.input("a", 1)
+        b = rtl.input("b", 1)
+        rtl.xor_(a, b)          # dangling
+        rtl.output("o", rtl.and_(a, b))
+        result = optimize(rtl.build())
+        assert result.stats["dead_gates"] == 1
+        assert len(result.netlist.gates) == 1
+
+    def test_dead_ff_removed_and_reported(self):
+        rtl = Rtl()
+        a = rtl.input("a", 1)
+        reg = rtl.register("unused", 1)
+        reg.drive(a)
+        rtl.output("o", a)
+        result = optimize(rtl.build())
+        assert result.stats["dead_ffs"] == 1
+        assert result.net_map[reg.q.nets[0]] is None
+
+    def test_dead_ff_kept_when_requested(self):
+        rtl = Rtl()
+        a = rtl.input("a", 1)
+        reg = rtl.register("unused", 1)
+        reg.drive(a)
+        rtl.output("o", a)
+        result = optimize(rtl.build(), remove_dead_ffs=False)
+        assert result.stats["dead_ffs"] == 0
+        assert len(result.netlist.dffs) == 1
+
+    def test_feedback_ff_chain_kept_alive(self):
+        # r0 -> r1 -> output; both must survive.
+        rtl = Rtl()
+        r0 = rtl.register("r0", 1, init=1)
+        r1 = rtl.register("r1", 1)
+        r0.drive(rtl.not_(r0.q))
+        r1.drive(r0.q)
+        rtl.output("o", r1.q)
+        result = optimize(rtl.build())
+        assert len(result.netlist.dffs) == 2
+
+    def test_optimized_netlist_still_simulates(self):
+        netlist = build_alu4()
+        result = optimize(netlist)
+        ref = NetlistSim(netlist)
+        opt = NetlistSim(result.netlist)
+        for vector in random_stimulus(7, ["a", "b", "op"], [4, 4, 2], 40):
+            assert ref.step(vector) == opt.step(vector)
+
+
+class TestTechmap:
+    @pytest.mark.parametrize("builder", [build_counter, build_alu4,
+                                         build_accumulator])
+    def test_known_designs_equivalent(self, builder):
+        assert_equivalent(builder())
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_designs_equivalent(self, seed):
+        assert_equivalent(random_netlist(seed), cycles=25, seed=seed)
+
+    def test_lut_input_bound(self):
+        result = synthesize(build_alu4())
+        assert result.mapped.luts
+        for lut in result.mapped.luts:
+            assert 1 <= len(lut.ins) <= LUT_INPUTS
+
+    def test_mapping_reduces_node_count(self):
+        netlist = build_alu4()
+        opt = optimize(netlist)
+        mapped = techmap(opt.netlist)
+        assert len(mapped.luts) < len(opt.netlist.gates)
+
+    def test_padded_tt_ignores_unused_inputs(self):
+        result = synthesize(build_counter())
+        for lut in result.mapped.luts:
+            padded = lut.padded_tt()
+            mask = (1 << len(lut.ins)) - 1
+            for index in range(16):
+                assert (padded >> index) & 1 == (lut.tt >> (index & mask)) & 1
+
+    def test_units_propagate_to_luts(self):
+        result = synthesize(build_alu4())
+        assert any(lut.unit == "ALU" for lut in result.mapped.luts)
+
+
+class TestLocationMap:
+    def test_register_bits_map_to_ffs(self):
+        result = synthesize(build_counter())
+        location = result.locmap.require_targetable("count")
+        assert all(bit.kind == "ff" for bit in location.bits)
+        assert len(location.bits) == 4
+
+    def test_output_signal_maps_to_luts(self):
+        result = synthesize(build_alu4())
+        location = result.locmap.signal("result")
+        assert all(bit.kind in ("lut", "ff", "input") for bit in location.bits)
+
+    def test_memory_located(self):
+        result = synthesize(build_accumulator())
+        assert result.locmap.memory("scratch") == 0
+        with pytest.raises(LocationError):
+            result.locmap.memory("nonexistent")
+
+    def test_removed_signal_reported(self):
+        rtl = Rtl()
+        a = rtl.input("a", 1)
+        reg = rtl.register("vanishes", 2)
+        reg.drive(rtl.cat(a, a))
+        rtl.output("o", a)
+        result = synthesize(rtl.build())
+        location = result.locmap.signal("vanishes")
+        assert not location.fully_targetable
+        assert location.lost_bits == [0, 1]
+        with pytest.raises(LocationError):
+            result.locmap.require_targetable("vanishes")
+
+    def test_unknown_signal_raises(self):
+        result = synthesize(build_counter())
+        with pytest.raises(LocationError):
+            result.locmap.signal("no_such_signal")
+
+    def test_unit_partitions(self):
+        result = synthesize(build_alu4())
+        assert "ALU" in result.locmap.units()
+        assert result.locmap.luts_in_unit("ALU")
+
+    def test_constant_bit_detected(self):
+        rtl = Rtl()
+        a = rtl.input("a", 1)
+        word = rtl.cat(a, rtl.const(1, 1))
+        rtl.signal("padded", word)
+        rtl.output("o", word)
+        result = synthesize(rtl.build())
+        location = result.locmap.signal("padded")
+        assert location.bits[1].kind == "const"
+        assert location.bits[1].index == 1
+
+
+class TestPlacementAnnotations:
+    def test_site_of_resolves_registers(self):
+        from repro.fpga import implement
+        result = synthesize(build_counter())
+        impl = implement(result.mapped)
+        result.locmap.attach_placement(impl.placement)
+        site = result.locmap.site_of("count", 2)
+        bit = result.locmap.signal("count").bits[2]
+        assert site == impl.placement.site_of_ff[bit.index]
+
+    def test_site_of_requires_placement(self):
+        result = synthesize(build_counter())
+        with pytest.raises(LocationError):
+            result.locmap.site_of("count", 0)
+
+    def test_describe_signal(self):
+        from repro.fpga import implement
+        result = synthesize(build_counter())
+        impl = implement(result.mapped)
+        result.locmap.attach_placement(impl.placement)
+        text = result.locmap.describe_signal("count")
+        assert "ff #" in text
+        assert "@CB(" in text
+
+    def test_campaign_attaches_placement(self):
+        from test_core_injector import make_campaign
+        campaign = make_campaign(build_counter(), inputs={"en": 1})
+        assert campaign.locmap.placement is campaign.impl.placement
