@@ -21,10 +21,15 @@ import os
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..core import (FadesCampaign, FaultLoadSpec, FaultModel, build_fades)
+from ..core import (CampaignResult, FadesCampaign, FaultLoadSpec,
+                    FaultModel, build_fades)
 from ..core.faults import DURATION_BANDS
 from ..mc8051 import Iss, Mc8051Model, Workload, build_mc8051, bubblesort
 from ..vfit import VfitCampaign
+
+#: Golden-run snapshot spacing of the standard testbed (kept in sync
+#: with :data:`repro.runtime.jobspec.DEFAULT_CHECKPOINT_INTERVAL`).
+CHECKPOINT_INTERVAL = 128
 
 #: Paper constants (section 6).
 PAPER_FAULTS_PER_EXPERIMENT = 3000
@@ -49,6 +54,9 @@ class Evaluation:
 
     values: Tuple[int, ...] = (9, 3, 12, 5)   # short sort for fast benches
     seed: int = 2006
+    #: With ``workers >= 2``, :meth:`run_fades` fans each experiment
+    #: class out across the :mod:`repro.runtime` worker pool.
+    workers: int = 0
     _workload: Optional[Workload] = None
     _model: Optional[Mc8051Model] = None
     _cycles: int = 0
@@ -80,8 +88,9 @@ class Evaluation:
     @property
     def fades(self) -> FadesCampaign:
         if self._fades is None:
-            self._fades = build_fades(self.model.netlist, seed=self.seed,
-                                      checkpoint_interval=128)
+            self._fades = build_fades(
+                self.model.netlist, seed=self.seed,
+                checkpoint_interval=CHECKPOINT_INTERVAL)
         return self._fades
 
     @property
@@ -89,6 +98,25 @@ class Evaluation:
         if self._vfit is None:
             self._vfit = VfitCampaign(self.model.netlist, seed=self.seed)
         return self._vfit
+
+    # -- campaign execution -----------------------------------------------
+    def run_fades(self, spec: FaultLoadSpec,
+                  seed: Optional[int] = None) -> CampaignResult:
+        """Run one FADES experiment class, honouring :attr:`workers`.
+
+        ``workers < 2`` keeps the historical serial path (bit-exact with
+        previous releases); ``workers >= 2`` dispatches through the
+        campaign runtime, whose determinism contract re-seeds the
+        injector per fault index (identical results for any worker
+        count, and for serial engine runs).
+        """
+        seed = self.seed if seed is None else seed
+        if self.workers >= 2:
+            from ..runtime import CampaignJobSpec, run_campaign
+            jobspec = CampaignJobSpec.from_evaluation(
+                self, spec, faultload_seed=seed)
+            return run_campaign(jobspec, workers=self.workers)
+        return self.fades.run(spec, seed=seed)
 
     # -- derived parameters -------------------------------------------------
     @property

@@ -74,17 +74,16 @@ def generate_fig10(evaluation: Evaluation,
     Includes the oscillating-indetermination variant the paper quotes in
     the text (~4605 s for 3000 faults of 10–20 cycles).
     """
-    fades = evaluation.fades
     figure = Figure("Figure 10. Mean emulation time per experiment class "
                     "(emulated seconds per fault)")
     for name, spec in evaluation.experiment_matrix(count):
-        result = fades.run(spec, seed=evaluation.seed)
+        result = evaluation.run_fades(spec)
         figure.bars.append(FigureBar(
             label=name, mean_time_s=result.mean_emulation_s,
             n=len(result.experiments)))
     oscillating = evaluation.spec(FaultModel.INDETERMINATION, "ffs", 2,
                                   count, oscillate=True)
-    result = fades.run(oscillating, seed=evaluation.seed)
+    result = evaluation.run_fades(oscillating)
     figure.bars.append(FigureBar(
         label="indet/Sequential osc. 11-20",
         mean_time_s=result.mean_emulation_s, n=len(result.experiments)))
@@ -119,18 +118,17 @@ def generate_fig11(evaluation: Evaluation, count: Optional[int] = None,
     figure.bars.append(bar)
 
     spec = evaluation.spec(FaultModel.BITFLIP, "memory:iram", 1, n)
-    result = fades.run(spec, seed=evaluation.seed)
+    result = evaluation.run_fades(spec)
     figure.bars.append(_bar_from(result, "Memory (occupied positions)"))
     return figure
 
 
 def _band_sweep(evaluation: Evaluation, model: FaultModel, pool: str,
                 label: str, count: Optional[int]) -> List[FigureBar]:
-    fades = evaluation.fades
     bars = []
     for band, band_label in enumerate(BAND_LABELS):
         spec = evaluation.spec(model, pool, band, count)
-        result = fades.run(spec, seed=evaluation.seed + band)
+        result = evaluation.run_fades(spec, seed=evaluation.seed + band)
         bars.append(_bar_from(result, f"{label} {band_label}"))
     return bars
 

@@ -126,7 +126,7 @@ def generate_table2(evaluation: Evaluation,
     rows: List[SpeedupRow] = []
     vfit_projected = evaluation.project_vfit_seconds()
     for name, spec in evaluation.experiment_matrix(count):
-        fades_result = fades.run(spec, seed=evaluation.seed)
+        fades_result = evaluation.run_fades(spec)
         try:
             vfit_result = vfit.run(spec, seed=evaluation.seed)
             vfit_mean = vfit_result.mean_emulation_s
@@ -189,7 +189,6 @@ class ComparisonRow:
 def generate_table3(evaluation: Evaluation,
                     count: Optional[int] = None) -> List[ComparisonRow]:
     """The paper's FADES-vs-VFIT agreement experiment (section 6.3)."""
-    fades = evaluation.fades
     vfit = evaluation.vfit
     experiments = [
         (FaultModel.BITFLIP, "ffs", "FFs", (1,)),
@@ -207,8 +206,9 @@ def generate_table3(evaluation: Evaluation,
         vfit_supported = True
         for band in bands:
             spec = evaluation.spec(model, pool, band, count)
-            fades_pct.append(fades.run(spec, seed=evaluation.seed + band)
-                             .failure_percent())
+            fades_pct.append(
+                evaluation.run_fades(spec, seed=evaluation.seed + band)
+                .failure_percent())
             if vfit_supported:
                 try:
                     vfit_pct.append(

@@ -9,9 +9,11 @@ emulated, the fault location and duration, the observation points"
     python -m repro info
     python -m repro campaign --model pulse --pool luts:ALU --count 20
     python -m repro campaign --tool vfit --model bitflip --pool ffs
+    python -m repro campaign --model bitflip --workers 4 --journal out.jsonl
+    python -m repro resume out.jsonl --workers 4
     python -m repro screen
     python -m repro seu --count 40 --occupied
-    python -m repro report --count 8
+    python -m repro report --count 8 --workers 4
 
 All commands run on the 8051 + Bubblesort testbed; ``--values`` changes
 the array being sorted (and thereby the workload length).
@@ -63,6 +65,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="re-randomise indeterminations every cycle")
     campaign.add_argument("--mechanism", default="",
                           help="pin a mechanism (lsr/gsr, fanout/reroute)")
+    campaign.add_argument("--workers", type=int, default=0,
+                          help="parallel worker processes "
+                               "(0 = in-process serial)")
+    campaign.add_argument("--journal", default=None,
+                          help="append-only JSONL result journal; "
+                               "re-running skips journaled experiments")
+
+    resume = commands.add_parser(
+        "resume", help="finish a journaled campaign (crash recovery)")
+    resume.add_argument("journal", help="journal written by campaign "
+                                        "--journal")
+    resume.add_argument("--workers", type=int, default=0)
 
     commands.add_parser(
         "screen", help="find the failure-sensitive flip-flops (paper 6.3)")
@@ -77,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate every table and figure of the paper")
     report.add_argument("--count", type=int, default=None,
                         help="faults per experiment class")
+    report.add_argument("--workers", type=int, default=0,
+                        help="fan experiment classes out across worker "
+                             "processes")
 
     run_spec = commands.add_parser(
         "run-spec", help="execute a JSON campaign specification file")
@@ -103,13 +120,39 @@ def cmd_info(evaluation: Evaluation) -> int:
     return 0
 
 
+def _progress_printer(total: int):
+    """Progress-line callback for engine-backed commands (stderr)."""
+    stride = max(1, total // 20)
+
+    def show(snapshot) -> None:
+        done = snapshot.completed + snapshot.skipped
+        if snapshot.completed % stride == 0 or done >= snapshot.total:
+            print(f"  {snapshot.render()}", file=sys.stderr)
+
+    return show
+
+
 def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
     model = FaultModel(args.model)
     spec = evaluation.spec(model, args.pool, band=args.band,
                            count=args.count, oscillate=args.oscillate,
                            mechanism=args.mechanism)
-    tool = evaluation.fades if args.tool == "fades" else evaluation.vfit
-    result = tool.run(spec, seed=args.seed)
+    engine_requested = args.workers > 0 or args.journal is not None
+    if engine_requested and args.tool != "fades":
+        print("error: --workers/--journal need --tool fades "
+              "(the runtime engine drives FADES campaigns only)",
+              file=sys.stderr)
+        return 1
+    if engine_requested:
+        from .runtime import CampaignJobSpec, run_campaign
+        jobspec = CampaignJobSpec.from_evaluation(
+            evaluation, spec, faultload_seed=args.seed)
+        result = run_campaign(jobspec, workers=args.workers,
+                              journal=args.journal,
+                              progress=_progress_printer(args.count))
+    else:
+        tool = evaluation.fades if args.tool == "fades" else evaluation.vfit
+        result = tool.run(spec, seed=args.seed)
     print(f"{args.tool.upper()} | {model.value} @ {args.pool} | "
           f"duration {BAND_LABELS[args.band]} cycles "
           f"({DURATION_BANDS[args.band][0]:g}-"
@@ -120,8 +163,29 @@ def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_screen(evaluation: Evaluation) -> int:
-    sensitive = evaluation.fades.screen_sensitive_ffs(evaluation.cycles)
+def cmd_resume(args: argparse.Namespace) -> int:
+    from .runtime import read_journal, resume_campaign
+    state = read_journal(args.journal)
+    pending = "?"
+    if state.header is not None:
+        pending = state.jobspec.spec.count - len(
+            state.done_indices(state.jobspec.spec.count))
+        print(f"resuming {state.jobspec.display_label()} | "
+              f"{len(state.records)} journaled, {pending} pending")
+    result = resume_campaign(
+        args.journal, workers=args.workers,
+        progress=_progress_printer(pending if isinstance(pending, int)
+                                   else 1))
+    print(result.spec_label)
+    print(result.counts())
+    print(f"mean emulated time: {result.mean_emulation_s:.3f} s/fault "
+          f"(campaign total {result.total_emulation_s:.1f} s)")
+    return 0
+
+
+def cmd_screen(evaluation: Evaluation, args: argparse.Namespace) -> int:
+    sensitive = evaluation.fades.screen_sensitive_ffs(evaluation.cycles,
+                                                      seed=args.seed)
     total = len(evaluation.fades.locmap.mapped.ffs)
     print(f"{len(sensitive)} of {total} flip-flops are failure-sensitive "
           "for this workload (paper found 81 of 637):")
@@ -147,11 +211,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_info(evaluation)
         if args.command == "campaign":
             return cmd_campaign(evaluation, args)
+        if args.command == "resume":
+            return cmd_resume(args)
         if args.command == "screen":
-            return cmd_screen(evaluation)
+            return cmd_screen(evaluation, args)
         if args.command == "seu":
             return cmd_seu(evaluation, args)
         if args.command == "report":
+            evaluation.workers = args.workers
             print(full_report(evaluation, count=args.count))
             return 0
         if args.command == "run-spec":

@@ -85,7 +85,7 @@ class FadesCampaign:
         #: optimisation — emulated time is unaffected (the real board
         #: would execute the prefix at full FPGA speed anyway).
         self.checkpoint_interval = checkpoint_interval
-        self._checkpoints: Dict[int, Dict[int, object]] = {}
+        self._checkpoints: Dict[tuple, Dict[int, object]] = {}
         self.device = Device(impl)
         locmap.attach_placement(impl.placement)
         self.board = board if board is not None else Board()
@@ -95,12 +95,27 @@ class FadesCampaign:
             self.jbits, rng=random.Random(seed ^ 0xFADE5),
             full_download_delays=full_download_delays)
         self.time_model = EmulationTimeModel(self.board, timing_params)
-        self._golden: Dict[int, Trace] = {}
+        self._golden: Dict[tuple, Trace] = {}
+        #: How many golden runs were actually *simulated* (as opposed to
+        #: served from the cache) — multi-class reports should see 1.
+        self.golden_simulations = 0
 
     # ------------------------------------------------------------------
+    def _golden_key(self, cycles: int) -> tuple:
+        """Cache key: the workload identity (the constant primary-input
+        assignment) plus the experiment length.  Keying by workload too
+        means mutating ``self.inputs`` between campaigns can never serve
+        a stale golden trace."""
+        return (tuple(sorted(self.inputs.items())), cycles)
+
     def golden_run(self, cycles: int) -> Trace:
-        """Fault-free reference trace (cached per experiment length)."""
-        cached = self._golden.get(cycles)
+        """Fault-free reference trace (cached per workload and length).
+
+        Every campaign sharing this object — e.g. the experiment classes
+        of a multi-class report — simulates the golden run exactly once.
+        """
+        key = self._golden_key(cycles)
+        cached = self._golden.get(key)
         if cached is not None:
             return cached
         device = self.device
@@ -114,9 +129,10 @@ class FadesCampaign:
             trace.record(device.step(self.inputs if cycle == 0 else None))
         trace.final_state = device.state_snapshot()
         trace.cycles = cycles
-        self._golden[cycles] = trace
+        self.golden_simulations += 1
+        self._golden[key] = trace
         if interval:
-            self._checkpoints[cycles] = checkpoints
+            self._checkpoints[key] = checkpoints
         return trace
 
     # ------------------------------------------------------------------
@@ -138,8 +154,8 @@ class FadesCampaign:
         # at or before the injection instant is available.
         first_cycle = 0
         trace = Trace(tuple(device.mapped.outputs))
-        checkpoints = self._checkpoints.get(cycles)
-        golden_cached = self._golden.get(cycles)
+        checkpoints = self._checkpoints.get(self._golden_key(cycles))
+        golden_cached = self._golden.get(self._golden_key(cycles))
         if checkpoints and golden_cached is not None and start > 0:
             usable = [c for c in checkpoints if c <= start]
             if usable:
@@ -220,12 +236,15 @@ class FadesCampaign:
 
     # ------------------------------------------------------------------
     def screen_sensitive_ffs(self, cycles: int, samples_per_ff: int = 2,
-                             seed: int = 7) -> List[int]:
+                             seed: Optional[int] = None) -> List[int]:
         """Pre-screening experiment of section 6.3: find the flip-flops
         "susceptible of causing a failure when executing the selected
         workload" — the paper found 81 of 637 eligible.
+
+        ``seed`` randomises the per-FF injection instants; ``None`` keeps
+        the historical default (7) for backward compatibility.
         """
-        rng = random.Random(seed)
+        rng = random.Random(7 if seed is None else seed)
         sensitive: List[int] = []
         from .faults import FaultModel, Target, TargetKind
         for ff_index in range(len(self.locmap.mapped.ffs)):

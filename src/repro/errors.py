@@ -70,3 +70,17 @@ class UnsupportedFaultError(InjectionError):
 
 class WorkloadError(ReproError):
     """Problem assembling or running a workload program."""
+
+
+class CampaignRuntimeError(ReproError):
+    """Problem in the campaign execution runtime (:mod:`repro.runtime`)."""
+
+
+class JournalError(CampaignRuntimeError):
+    """A result journal is missing, malformed or belongs to a different
+    campaign than the one being run or resumed."""
+
+
+class SchedulerError(CampaignRuntimeError):
+    """The worker pool could not complete the campaign (a shard kept
+    failing past its retry budget, or a worker died while starting up)."""

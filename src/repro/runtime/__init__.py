@@ -1,0 +1,50 @@
+"""Campaign execution runtime (R): parallel campaigns, resume, metrics.
+
+The paper's FADES tool exists to make fault-injection campaigns fast;
+this subsystem makes the reproduction's campaigns fast *and durable*:
+
+* :mod:`repro.runtime.jobspec` — picklable campaign descriptions and the
+  per-fault seed derivation behind the determinism contract;
+* :mod:`repro.runtime.scheduler` — shard planning and the worker pool
+  (crash detection, retry, respawn);
+* :mod:`repro.runtime.journal` — the append-only JSONL result store
+  enabling crash-safe checkpoint/resume;
+* :mod:`repro.runtime.metrics` — throughput and per-phase wall-clock
+  versus emulated-time accounting, with progress callbacks;
+* :mod:`repro.runtime.engine` — the public API:
+  :func:`~repro.runtime.engine.run_campaign` and
+  :func:`~repro.runtime.engine.resume_campaign`.
+"""
+
+from .engine import resume_campaign, run_campaign
+from .jobspec import (CampaignJobSpec, DEFAULT_CHECKPOINT_INTERVAL,
+                      JobRunner, build_campaign, derive_fault_seed,
+                      record_from_result, result_from_record)
+from .journal import (JOURNAL_VERSION, JournalState, JournalWriter,
+                      check_compatible, read_journal)
+from .metrics import CampaignMetrics, MetricsSnapshot, ProgressCallback
+from .scheduler import MAX_SHARD_SIZE, Shard, WorkerPool, plan_shards
+
+__all__ = [
+    "run_campaign",
+    "resume_campaign",
+    "CampaignJobSpec",
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "JobRunner",
+    "build_campaign",
+    "derive_fault_seed",
+    "record_from_result",
+    "result_from_record",
+    "JOURNAL_VERSION",
+    "JournalState",
+    "JournalWriter",
+    "check_compatible",
+    "read_journal",
+    "CampaignMetrics",
+    "MetricsSnapshot",
+    "ProgressCallback",
+    "MAX_SHARD_SIZE",
+    "Shard",
+    "WorkerPool",
+    "plan_shards",
+]

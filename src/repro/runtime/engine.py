@@ -1,0 +1,141 @@
+"""Campaign execution engine: the public entry points of the runtime.
+
+:func:`run_campaign` takes a :class:`~repro.runtime.jobspec.CampaignJobSpec`
+and returns the very same :class:`~repro.core.campaign.CampaignResult`
+the serial ``FadesCampaign.run`` path produces, whatever the execution
+strategy:
+
+* ``workers=0`` — in-process, one experiment after another (still gains
+  journaling and metrics);
+* ``workers>=1`` — a multiprocessing pool; each worker rebuilds the
+  campaign from the job spec, so no simulator state crosses process
+  boundaries.
+
+With ``journal=<path>`` every experiment record is streamed to an
+append-only JSONL file; re-running the same campaign (or calling
+:func:`resume_campaign` on the journal alone) skips every fault index
+that already has a record.  The determinism contract (see
+:mod:`repro.runtime.jobspec`) makes the two interchangeable: a resumed,
+sharded campaign tallies exactly like an uninterrupted serial one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import generate_faultload, pool_size
+from ..core.campaign import CampaignResult
+from ..core.faults import Fault
+from ..errors import JournalError
+from .jobspec import (CampaignJobSpec, JobRunner, build_campaign,
+                      result_from_record)
+from .journal import JournalWriter, check_compatible, read_journal
+from .metrics import CampaignMetrics, ProgressCallback
+from .scheduler import WorkerPool, plan_shards
+
+
+def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
+                 journal: Optional[str] = None,
+                 progress: Optional[ProgressCallback] = None,
+                 progress_interval: int = 1,
+                 shard_size: Optional[int] = None,
+                 max_retries: int = 2) -> CampaignResult:
+    """Execute one experiment class; see the module docstring."""
+    metrics = CampaignMetrics(progress=progress,
+                              progress_interval=progress_interval)
+    with metrics.phase("setup"):
+        campaign = build_campaign(jobspec)
+        faults: List[Fault] = generate_faultload(
+            jobspec.spec, campaign.locmap,
+            seed=jobspec.effective_faultload_seed(),
+            routed_nets=campaign.impl.routing.is_routed)
+        pool = pool_size(jobspec.spec, campaign.locmap)
+
+        records: Dict[int, Dict] = {}
+        writer: Optional[JournalWriter] = None
+        if journal is not None:
+            state = read_journal(journal)
+            check_compatible(state, jobspec, journal)
+            records.update(state.done_indices(len(faults)))
+            writer = JournalWriter(journal, jobspec, state=state)
+
+    metrics.set_total(len(faults), skipped=len(records))
+    pending = [index for index in range(len(faults))
+               if index not in records]
+
+    with metrics.phase("golden"):
+        golden = campaign.golden_run(jobspec.spec.workload_cycles)
+
+    def take(batch: List[Dict]) -> None:
+        for record in batch:
+            records[record["index"]] = record
+            if writer is not None:
+                writer.append_record(record)
+            metrics.record(record)
+
+    try:
+        with metrics.phase("experiments"):
+            if workers <= 0:
+                runner = JobRunner(jobspec, campaign=campaign,
+                                   faults=faults, pool=pool)
+                for index in pending:
+                    take([runner.run_index(index)])
+            elif pending:
+                worker_pool = WorkerPool(
+                    jobspec, workers=workers, max_retries=max_retries,
+                    on_retry=lambda _shard: metrics.add_retry())
+                worker_pool.run(plan_shards(pending, workers, shard_size),
+                                lambda _shard, batch: take(batch))
+
+        with metrics.phase("aggregate"):
+            result = _assemble(jobspec, golden, faults, records)
+        if writer is not None:
+            writer.append_summary(result.counts(),
+                                  result.total_emulation_s,
+                                  metrics.snapshot().wall_s)
+    finally:
+        if writer is not None:
+            writer.close()
+    metrics.finish()
+    return result
+
+
+def resume_campaign(journal: str, workers: int = 0,
+                    progress: Optional[ProgressCallback] = None,
+                    progress_interval: int = 1,
+                    max_retries: int = 2) -> CampaignResult:
+    """Finish a journaled campaign from its journal alone.
+
+    Already-journaled fault indices are skipped; the remaining ones run
+    under the job spec recorded in the journal header.
+    """
+    state = read_journal(journal)
+    if state.header is None:
+        raise JournalError(
+            f"{journal}: not a campaign journal (no header line)")
+    return run_campaign(state.jobspec, workers=workers, journal=journal,
+                        progress=progress,
+                        progress_interval=progress_interval,
+                        max_retries=max_retries)
+
+
+def _assemble(jobspec: CampaignJobSpec, golden, faults: List[Fault],
+              records: Dict[int, Dict]) -> CampaignResult:
+    """Order-independent aggregation into the serial-path result type."""
+    missing = [index for index in range(len(faults))
+               if index not in records]
+    if missing:
+        raise JournalError(
+            f"campaign incomplete: {len(missing)} experiments without "
+            f"records (first missing index {missing[0]})")
+    result = CampaignResult(spec_label=jobspec.display_label(),
+                            golden=golden)
+    for index, fault in enumerate(faults):
+        result.experiments.append(
+            result_from_record(fault, records[index]))
+    result.total_emulation_s = sum(
+        experiment.cost.total_s for experiment in result.experiments)
+    if result.experiments:
+        result.mean_emulation_s = (result.total_emulation_s
+                                   / len(result.experiments))
+    return result

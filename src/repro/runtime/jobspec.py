@@ -1,0 +1,235 @@
+"""Picklable campaign descriptions for the execution runtime.
+
+A :class:`CampaignJobSpec` is everything a worker process needs to rebuild
+one experiment class from scratch — the workload, the seeds and the
+:class:`~repro.core.config.FaultLoadSpec` — without sharing any simulator
+state with the parent.  Workers receive the spec (pickled through the job
+queue), construct their own :class:`~repro.core.campaign.FadesCampaign`,
+regenerate the exact same faultload the parent planned from, and run only
+the fault indices they are handed.
+
+Determinism contract
+--------------------
+Sharded execution must be outcome-identical to serial execution for the
+same spec and seed.  Two derivations guarantee it:
+
+* the faultload seed is fixed in the spec, so every process draws the
+  identical fault list;
+* the injector randomiser (used by indetermination faults, and consumed
+  per cycle in oscillating mode) is re-seeded before *every* experiment
+  from :func:`derive_fault_seed`, a pure function of the campaign seed
+  and the fault index — so an experiment's outcome cannot depend on which
+  worker runs it or on how many experiments ran before it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import FaultModel, generate_faultload, pool_size
+from ..core.campaign import ExperimentResult, FadesCampaign
+from ..core.classify import Outcome
+from ..core.config import FaultLoadSpec
+from ..core.faults import Fault
+from ..core.timing_model import ExperimentCost
+from ..errors import JournalError
+
+#: Golden-run snapshot spacing used by the standard testbed (matches
+#: :class:`repro.analysis.experiments.Evaluation`).
+DEFAULT_CHECKPOINT_INTERVAL = 128
+
+
+def derive_fault_seed(seed: int, index: int) -> int:
+    """Per-experiment injector seed: pure function of campaign seed and
+    fault index (order- and shard-independent)."""
+    mixed = (seed & 0x7FFFFFFF) * 0x9E3779B1 + (index + 1) * 0x85EBCA6B
+    return (mixed ^ 0xFADE5) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class CampaignJobSpec:
+    """One experiment class, self-contained and picklable.
+
+    ``faultload_seed`` defaults to ``seed`` — the same convention as
+    ``FadesCampaign.run(spec, seed=...)`` call sites use throughout the
+    analysis layer.
+    """
+
+    spec: FaultLoadSpec
+    values: Tuple[int, ...] = (9, 3, 12, 5)
+    workload: str = "bubblesort"
+    seed: int = 2006
+    faultload_seed: Optional[int] = None
+    checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL
+    label: str = ""
+
+    @classmethod
+    def from_evaluation(cls, evaluation, spec: FaultLoadSpec,
+                        faultload_seed: Optional[int] = None,
+                        label: str = "") -> "CampaignJobSpec":
+        """Describe one experiment class of an evaluation testbed."""
+        return cls(spec=spec, values=tuple(evaluation.values),
+                   seed=evaluation.seed, faultload_seed=faultload_seed,
+                   label=label or spec.label())
+
+    def effective_faultload_seed(self) -> int:
+        return self.seed if self.faultload_seed is None else \
+            self.faultload_seed
+
+    def display_label(self) -> str:
+        return self.label or self.spec.label()
+
+    # -- serialisation (journal headers) -------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-compatible form, stable across sessions."""
+        spec = self.spec
+        return {
+            "spec": {
+                "model": spec.model.value,
+                "pool": spec.pool,
+                "count": spec.count,
+                "duration_range": list(spec.duration_range),
+                "workload_cycles": spec.workload_cycles,
+                "mem_addr_range": (list(spec.mem_addr_range)
+                                   if spec.mem_addr_range else None),
+                "magnitude_range_ns": list(spec.magnitude_range_ns),
+                "mechanism": spec.mechanism,
+                "oscillate": spec.oscillate,
+                "lut_lines": spec.lut_lines,
+            },
+            "values": list(self.values),
+            "workload": self.workload,
+            "seed": self.seed,
+            "faultload_seed": self.faultload_seed,
+            "checkpoint_interval": self.checkpoint_interval,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignJobSpec":
+        try:
+            raw = dict(data["spec"])
+            spec = FaultLoadSpec(
+                model=FaultModel(raw["model"]),
+                pool=raw["pool"],
+                count=int(raw["count"]),
+                duration_range=tuple(raw["duration_range"]),
+                workload_cycles=int(raw["workload_cycles"]),
+                mem_addr_range=(tuple(raw["mem_addr_range"])
+                                if raw.get("mem_addr_range") else None),
+                magnitude_range_ns=tuple(raw["magnitude_range_ns"]),
+                mechanism=raw.get("mechanism", ""),
+                oscillate=bool(raw.get("oscillate", False)),
+                lut_lines=bool(raw.get("lut_lines", False)),
+            )
+            return cls(spec=spec,
+                       values=tuple(data["values"]),
+                       workload=data.get("workload", "bubblesort"),
+                       seed=int(data["seed"]),
+                       faultload_seed=data.get("faultload_seed"),
+                       checkpoint_interval=int(
+                           data.get("checkpoint_interval",
+                                    DEFAULT_CHECKPOINT_INTERVAL)),
+                       label=data.get("label", ""))
+        except (KeyError, TypeError, ValueError) as error:
+            raise JournalError(f"malformed job spec: {error}") from error
+
+    def with_count(self, count: int) -> "CampaignJobSpec":
+        return replace(self, spec=replace(self.spec, count=count))
+
+
+def build_campaign(jobspec: CampaignJobSpec) -> FadesCampaign:
+    """Construct this process's own campaign for a job spec.
+
+    Mirrors ``Evaluation.fades`` exactly (same seed, same checkpoint
+    interval) so engine results line up with the serial testbed.
+    """
+    from ..analysis.specfile import WORKLOADS  # local: avoid import cycle
+    from ..core import build_fades
+    from ..mc8051 import build_mc8051
+
+    try:
+        factory = WORKLOADS[jobspec.workload]
+    except KeyError:
+        raise JournalError(
+            f"unknown workload {jobspec.workload!r}") from None
+    workload = factory(list(jobspec.values))
+    model = build_mc8051(workload.rom)
+    return build_fades(model.netlist, seed=jobspec.seed,
+                       checkpoint_interval=jobspec.checkpoint_interval)
+
+
+class JobRunner:
+    """Executes individual fault indices of one job spec.
+
+    Each worker process owns exactly one runner; the engine's in-process
+    path reuses the parent's campaign through the keyword arguments.
+    """
+
+    def __init__(self, jobspec: CampaignJobSpec,
+                 campaign: Optional[FadesCampaign] = None,
+                 faults: Optional[Sequence[Fault]] = None,
+                 pool: Optional[int] = None):
+        self.jobspec = jobspec
+        self.campaign = campaign if campaign is not None \
+            else build_campaign(jobspec)
+        self.faults: List[Fault] = list(faults) if faults is not None \
+            else generate_faultload(
+                jobspec.spec, self.campaign.locmap,
+                seed=jobspec.effective_faultload_seed(),
+                routed_nets=self.campaign.impl.routing.is_routed)
+        self.pool = pool if pool is not None \
+            else pool_size(jobspec.spec, self.campaign.locmap)
+
+    def run_index(self, index: int) -> Dict:
+        """Run one experiment and return its journal record."""
+        fault = self.faults[index]
+        self.campaign.injector.rng.seed(
+            derive_fault_seed(self.jobspec.seed, index))
+        result = self.campaign.run_experiment(
+            fault, self.jobspec.spec.workload_cycles, pool=self.pool)
+        return record_from_result(index, result)
+
+    def run_indices(self, indices: Sequence[int]) -> List[Dict]:
+        return [self.run_index(index) for index in indices]
+
+
+# ---------------------------------------------------------------------------
+# Experiment <-> record conversion (the journal's unit of persistence)
+# ---------------------------------------------------------------------------
+def record_from_result(index: int, result: ExperimentResult) -> Dict:
+    """Flatten one experiment into a JSON-compatible record."""
+    cost = result.cost
+    return {
+        "index": index,
+        "outcome": result.outcome.value,
+        "first_divergence": result.first_divergence,
+        "cost": {
+            "locate_s": cost.locate_s,
+            "transfer_s": cost.transfer_s,
+            "workload_s": cost.workload_s,
+            "overhead_s": cost.overhead_s,
+            "transactions": cost.transactions,
+        },
+    }
+
+
+def result_from_record(fault: Fault, record: Dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its journal record."""
+    try:
+        cost = record.get("cost") or {}
+        return ExperimentResult(
+            fault=fault,
+            outcome=Outcome(record["outcome"]),
+            cost=ExperimentCost(
+                locate_s=float(cost.get("locate_s", 0.0)),
+                transfer_s=float(cost.get("transfer_s", 0.0)),
+                workload_s=float(cost.get("workload_s", 0.0)),
+                overhead_s=float(cost.get("overhead_s", 0.0)),
+                transactions=int(cost.get("transactions", 0)),
+            ),
+            first_divergence=record.get("first_divergence"),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise JournalError(f"malformed record: {error}") from error

@@ -1,0 +1,151 @@
+"""Append-only JSONL result journal with crash-safe resume.
+
+The journal is the campaign's durable state.  Line one is a header
+carrying the full :class:`~repro.runtime.jobspec.CampaignJobSpec`; every
+subsequent line is one per-experiment record (see
+:func:`repro.runtime.jobspec.record_from_result`) or, after a campaign
+completes, a summary line with the aggregate tally.
+
+Crash safety relies on two properties:
+
+* records are appended and fsync'd as they arrive, so a killed process
+  loses at most the experiments whose records were still in flight;
+* a torn final line (the classic partial-write signature of a crash) is
+  silently dropped on read — the experiment simply re-runs on resume.
+
+Resuming is therefore trivial: read the journal, skip every fault index
+that already has a record, run the rest, append.  Records are keyed by
+fault index; because the engine's determinism contract makes every
+experiment a pure function of (spec, seed, index), a re-run of a lost
+index reproduces exactly the record that was lost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import JournalError
+from .jobspec import CampaignJobSpec
+
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class JournalState:
+    """Everything a journal file currently holds."""
+
+    header: Optional[Dict] = None
+    records: Dict[int, Dict] = field(default_factory=dict)
+    summary: Optional[Dict] = None
+    dropped_lines: int = 0
+
+    @property
+    def jobspec(self) -> CampaignJobSpec:
+        if self.header is None:
+            raise JournalError("journal has no header line")
+        return CampaignJobSpec.from_dict(self.header.get("jobspec", {}))
+
+    def done_indices(self, count: int) -> Dict[int, Dict]:
+        """Journaled records that fall inside the current faultload."""
+        return {index: record for index, record in self.records.items()
+                if 0 <= index < count}
+
+
+def read_journal(path: str) -> JournalState:
+    """Parse a journal file; a missing file reads as an empty state.
+
+    Malformed lines are dropped rather than fatal: a torn tail line is
+    the expected crash signature, and losing a record only means one
+    deterministic experiment re-runs on resume.
+    """
+    state = JournalState()
+    if not os.path.exists(path):
+        return state
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                state.dropped_lines += 1
+                continue
+            kind = entry.get("type")
+            if kind == "header":
+                if state.header is None:
+                    state.header = entry
+            elif kind == "record":
+                index = entry.get("index")
+                if isinstance(index, int):
+                    state.records[index] = entry
+            elif kind == "summary":
+                state.summary = entry
+            else:
+                state.dropped_lines += 1
+    return state
+
+
+def check_compatible(state: JournalState, jobspec: CampaignJobSpec,
+                     path: str) -> None:
+    """Refuse to mix two different campaigns in one journal file."""
+    if state.header is None:
+        return
+    recorded = state.header.get("jobspec")
+    if recorded != jobspec.to_dict():
+        raise JournalError(
+            f"{path}: journal belongs to a different campaign "
+            f"(label {CampaignJobSpec.from_dict(recorded or {}).display_label()!r}); "
+            "use 'repro resume' or pick a fresh journal path")
+
+
+class JournalWriter:
+    """Appends header/record/summary lines with per-append durability."""
+
+    def __init__(self, path: str, jobspec: CampaignJobSpec,
+                 state: Optional[JournalState] = None):
+        self.path = path
+        state = state if state is not None else read_journal(path)
+        check_compatible(state, jobspec, path)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "a", encoding="utf-8")
+        if state.header is None:
+            self._append({"type": "header", "version": JOURNAL_VERSION,
+                          "jobspec": jobspec.to_dict()})
+
+    def _append(self, entry: Dict) -> None:
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append_record(self, record: Dict) -> None:
+        entry = dict(record)
+        entry["type"] = "record"
+        self._append(entry)
+
+    def append_summary(self, counts, total_emulation_s: float,
+                       wall_s: float) -> None:
+        """Terminal line: lets readers spot a finished campaign at a
+        glance (resume treats it as informational only)."""
+        self._append({
+            "type": "summary",
+            "failure": counts.failure,
+            "latent": counts.latent,
+            "silent": counts.silent,
+            "total_emulation_s": total_emulation_s,
+            "wall_s": wall_s,
+        })
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

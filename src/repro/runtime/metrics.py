@@ -1,0 +1,146 @@
+"""Campaign execution metrics: throughput, phases, progress callbacks.
+
+The paper's whole argument is a time argument (table 2's emulation-time
+speedups), so the runtime keeps two clocks side by side:
+
+* **host wall-clock** — what this reproduction actually spends, split
+  per phase (``setup`` / ``golden`` / ``experiments`` / ``aggregate``);
+* **emulated time** — the 2006-era board seconds accumulated from each
+  experiment's :class:`~repro.core.timing_model.ExperimentCost`.
+
+A :class:`CampaignMetrics` instance is fed one record at a time by the
+engine and periodically fires a progress callback with an immutable
+:class:`MetricsSnapshot` — the CLI renders those as progress lines, tests
+use them to observe (and interrupt) a running campaign.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional
+
+ProgressCallback = Callable[["MetricsSnapshot"], None]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time view of a running (or finished) campaign."""
+
+    total: int = 0
+    completed: int = 0
+    skipped: int = 0
+    retries: int = 0
+    wall_s: float = 0.0
+    emulated_s: float = 0.0
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def pending(self) -> int:
+        return max(0, self.total - self.skipped - self.completed)
+
+    @property
+    def throughput(self) -> float:
+        """Completed experiments per host second."""
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.completed / self.wall_s
+
+    @property
+    def eta_s(self) -> float:
+        """Projected host seconds until the campaign drains."""
+        rate = self.throughput
+        if rate <= 0.0:
+            return float("inf")
+        return self.pending / rate
+
+    def render(self) -> str:
+        done = self.skipped + self.completed
+        line = (f"[{done}/{self.total}] "
+                f"{self.throughput:.1f} exp/s | "
+                f"emulated {self.emulated_s:.1f} s")
+        if self.skipped:
+            line += f" | resumed past {self.skipped}"
+        if self.retries:
+            line += f" | retries {self.retries}"
+        if self.pending:
+            eta = self.eta_s
+            if eta != float("inf"):
+                line += f" | eta {eta:.1f} s"
+        return line
+
+
+class CampaignMetrics:
+    """Accumulates counters and fires progress callbacks.
+
+    ``progress_interval`` throttles the callback to every N-th record
+    (the final record always fires).  The clock is injectable so tests
+    can run against a fake time source.
+    """
+
+    def __init__(self, progress: Optional[ProgressCallback] = None,
+                 progress_interval: int = 1,
+                 clock: Callable[[], float] = time.monotonic):
+        self._progress = progress
+        self._interval = max(1, progress_interval)
+        self._clock = clock
+        self._started = clock()
+        self._phase_wall: Dict[str, float] = {}
+        self.total = 0
+        self.completed = 0
+        self.skipped = 0
+        self.retries = 0
+        self.emulated_s = 0.0
+
+    # -- lifecycle -----------------------------------------------------
+    def set_total(self, total: int, skipped: int = 0) -> None:
+        self.total = total
+        self.skipped = skipped
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate wall-clock under a named phase (re-enterable)."""
+        begin = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - begin
+            self._phase_wall[name] = self._phase_wall.get(name, 0.0) \
+                + elapsed
+
+    def record(self, record: Dict) -> None:
+        """Account one finished experiment (journal-record form)."""
+        self.completed += 1
+        cost = record.get("cost") or {}
+        self.emulated_s += (cost.get("locate_s", 0.0)
+                            + cost.get("transfer_s", 0.0)
+                            + cost.get("workload_s", 0.0)
+                            + cost.get("overhead_s", 0.0))
+        if self._progress is None:
+            return
+        remaining = self.total - self.skipped - self.completed
+        if self.completed % self._interval == 0 or remaining <= 0:
+            self._progress(self.snapshot())
+
+    def add_retry(self, count: int = 1) -> None:
+        self.retries += count
+
+    # -- reporting -----------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            total=self.total,
+            completed=self.completed,
+            skipped=self.skipped,
+            retries=self.retries,
+            wall_s=self._clock() - self._started,
+            emulated_s=self.emulated_s,
+            phases=dict(self._phase_wall),
+        )
+
+    def finish(self) -> MetricsSnapshot:
+        """Final snapshot; fires the progress callback one last time."""
+        snap = self.snapshot()
+        if self._progress is not None:
+            self._progress(snap)
+        return snap

@@ -1,0 +1,278 @@
+"""Shard planning and the multiprocessing worker pool.
+
+The scheduler splits a campaign's pending fault indices into
+:class:`Shard` units and drives them through worker processes.  Design
+points:
+
+* **No shared simulator state.**  Workers receive only the picklable
+  :class:`~repro.runtime.jobspec.CampaignJobSpec` and rebuild their own
+  campaign; shards carry bare fault indices.
+* **Parent-side assignment.**  Each worker has a private job queue and
+  holds at most one shard at a time, so when a worker dies the parent
+  knows *exactly* which shard was in flight — no claim/ack protocol, no
+  lost-message races.
+* **Retry on worker crash.**  A shard whose worker died (or raised) goes
+  back to the front of the backlog and a replacement worker is spawned;
+  a shard that fails more than ``max_retries`` times aborts the campaign
+  with :class:`~repro.errors.SchedulerError`.
+
+Shards are deliberately small (see :func:`plan_shards`): results stream
+back to the journal at shard granularity, so smaller shards mean finer
+crash-safety and better load balance at a modest queueing cost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SchedulerError
+from .jobspec import CampaignJobSpec, JobRunner
+
+#: Upper bound on shard size: keeps the journal hot even on huge
+#: campaigns (a crash loses at most this many in-flight experiments
+#: per worker).
+MAX_SHARD_SIZE = 16
+
+#: How long the event loop blocks on the result queue before checking
+#: worker liveness.
+_POLL_SECONDS = 0.1
+
+#: How often an idle worker checks whether its parent is still alive
+#: (a SIGKILLed parent cannot clean up; orphans must exit on their own).
+_ORPHAN_POLL_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One schedulable unit: a batch of fault indices."""
+
+    shard_id: int
+    indices: Tuple[int, ...]
+
+
+def plan_shards(indices: Sequence[int], workers: int,
+                shard_size: Optional[int] = None) -> List[Shard]:
+    """Split pending fault indices into shards.
+
+    The default size targets ~4 shards per worker (load balance against
+    stragglers) capped at :data:`MAX_SHARD_SIZE` (journal granularity).
+    """
+    if not indices:
+        return []
+    if shard_size is None:
+        per_worker = -(-len(indices) // (max(1, workers) * 4))
+        shard_size = max(1, min(MAX_SHARD_SIZE, per_worker))
+    shard_size = max(1, shard_size)
+    return [Shard(shard_id=n, indices=tuple(chunk))
+            for n, chunk in enumerate(
+                indices[start:start + shard_size]
+                for start in range(0, len(indices), shard_size))]
+
+
+def _mp_context():
+    """Prefer fork (workers skip re-importing the package); fall back to
+    the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _worker_main(worker_id: int, jobspec: CampaignJobSpec,
+                 job_queue, result_queue) -> None:
+    """Worker process body: build one campaign, then drain shards."""
+    parent = os.getppid()
+    try:
+        runner = JobRunner(jobspec)
+    except BaseException:
+        result_queue.put(("fatal", worker_id, traceback.format_exc()))
+        return
+    result_queue.put(("ready", worker_id))
+    while True:
+        try:
+            shard = job_queue.get(timeout=_ORPHAN_POLL_SECONDS)
+        except queue_module.Empty:
+            # Reparented (original parent died without cleanup): exit
+            # rather than wait forever on a queue no one will feed.
+            if os.getppid() != parent:
+                return
+            continue
+        if shard is None:
+            return
+        try:
+            records = runner.run_indices(shard.indices)
+        except BaseException:
+            result_queue.put(("error", worker_id, shard.shard_id,
+                              traceback.format_exc()))
+        else:
+            result_queue.put(("result", worker_id, shard.shard_id,
+                              records))
+
+
+class _Worker:
+    """Parent-side handle: process + its private job queue."""
+
+    def __init__(self, ctx, worker_id: int, jobspec: CampaignJobSpec,
+                 result_queue):
+        self.worker_id = worker_id
+        self.job_queue = ctx.Queue()
+        self.shard: Optional[Shard] = None
+        self.ready = False
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, jobspec, self.job_queue, result_queue),
+            daemon=True)
+        self.process.start()
+
+    def assign(self, shard: Shard) -> None:
+        self.shard = shard
+        self.job_queue.put(shard)
+
+    def release(self) -> Optional[Shard]:
+        shard, self.shard = self.shard, None
+        return shard
+
+    def stop(self) -> None:
+        if self.process.is_alive():
+            self.job_queue.put(None)
+
+    def reap(self, timeout: float = 2.0) -> None:
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+
+
+class WorkerPool:
+    """Runs shards of one job spec across worker processes."""
+
+    def __init__(self, jobspec: CampaignJobSpec, workers: int,
+                 max_retries: int = 2,
+                 on_retry: Optional[Callable[[Shard], None]] = None):
+        if workers < 1:
+            raise SchedulerError("worker pool needs at least one worker")
+        self.jobspec = jobspec
+        self.workers = workers
+        self.max_retries = max_retries
+        self.on_retry = on_retry
+        self.retries = 0
+
+    def run(self, shards: Sequence[Shard],
+            on_records: Callable[[Shard, List[Dict]], None]) -> None:
+        """Execute every shard, streaming record batches to
+        ``on_records`` as workers finish them (arrival order)."""
+        if not shards:
+            return
+        ctx = _mp_context()
+        result_queue = ctx.Queue()
+        backlog = deque(shards)
+        by_id = {shard.shard_id: shard for shard in shards}
+        attempts: Dict[int, int] = {}
+        outstanding = set(by_id)
+        pool: Dict[int, _Worker] = {}
+        next_worker_id = 0
+
+        def spawn() -> None:
+            nonlocal next_worker_id
+            worker = _Worker(ctx, next_worker_id, self.jobspec,
+                             result_queue)
+            pool[next_worker_id] = worker
+            next_worker_id += 1
+
+        def feed(worker: _Worker) -> None:
+            if backlog and worker.shard is None:
+                worker.assign(backlog.popleft())
+
+        def requeue(shard: Shard, reason: str) -> None:
+            attempts[shard.shard_id] = attempts.get(shard.shard_id, 0) + 1
+            if attempts[shard.shard_id] > self.max_retries:
+                raise SchedulerError(
+                    f"shard {shard.shard_id} failed "
+                    f"{attempts[shard.shard_id]} times; last cause:\n"
+                    f"{reason}")
+            self.retries += 1
+            if self.on_retry is not None:
+                self.on_retry(shard)
+            backlog.appendleft(shard)
+
+        try:
+            for _ in range(min(self.workers, len(shards))):
+                spawn()
+            while outstanding:
+                self._drain(result_queue, pool, outstanding, by_id,
+                            on_records, feed, requeue)
+                self._check_liveness(pool, outstanding, backlog,
+                                     requeue, spawn, feed)
+        finally:
+            for worker in pool.values():
+                worker.stop()
+            for worker in pool.values():
+                worker.reap()
+
+    # -- event loop pieces ---------------------------------------------
+    def _drain(self, result_queue, pool, outstanding, by_id, on_records,
+               feed, requeue) -> None:
+        """Handle every queued message (blocking briefly for the first)."""
+        try:
+            message = result_queue.get(timeout=_POLL_SECONDS)
+        except queue_module.Empty:
+            return
+        while True:
+            kind, worker_id = message[0], message[1]
+            worker = pool.get(worker_id)
+            if kind == "ready" and worker is not None:
+                worker.ready = True
+                feed(worker)
+            elif kind == "result":
+                shard_id, records = message[2], message[3]
+                if worker is not None:
+                    worker.release()
+                if shard_id in outstanding:
+                    outstanding.discard(shard_id)
+                    on_records(by_id[shard_id], records)
+                if worker is not None:
+                    if outstanding:
+                        feed(worker)
+                    else:
+                        worker.stop()
+            elif kind == "error":
+                shard_id, reason = message[2], message[3]
+                if worker is not None:
+                    worker.release()
+                if shard_id in outstanding:
+                    requeue(by_id[shard_id], reason)
+                if worker is not None:
+                    feed(worker)
+            elif kind == "fatal":
+                raise SchedulerError(
+                    f"worker {worker_id} failed to start:\n{message[2]}")
+            try:
+                message = result_queue.get_nowait()
+            except queue_module.Empty:
+                return
+
+    def _check_liveness(self, pool, outstanding, backlog, requeue,
+                        spawn, feed) -> None:
+        """Requeue shards of dead workers; keep the pool staffed."""
+        for worker_id in [wid for wid, worker in pool.items()
+                          if not worker.process.is_alive()]:
+            worker = pool.pop(worker_id)
+            shard = worker.release()
+            if shard is not None and shard.shard_id in outstanding:
+                requeue(shard, f"worker {worker_id} died "
+                               f"(exit code {worker.process.exitcode})")
+            worker.reap(timeout=0.5)
+        while outstanding and len(pool) < min(self.workers,
+                                              len(outstanding)):
+            spawn()
+        # A requeue may have refilled the backlog after a worker went
+        # idle; hand those shards out again.
+        for worker in pool.values():
+            if worker.ready and worker.shard is None and backlog:
+                feed(worker)

@@ -25,6 +25,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--model", "gremlin"])
 
+    def test_campaign_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--model", "bitflip", "--workers", "4",
+             "--journal", "out.jsonl"])
+        assert args.workers == 4
+        assert args.journal == "out.jsonl"
+
+    def test_resume_defaults(self):
+        args = build_parser().parse_args(["resume", "out.jsonl"])
+        assert args.journal == "out.jsonl"
+        assert args.workers == 0
+
+    def test_report_workers(self):
+        args = build_parser().parse_args(["report", "--workers", "2"])
+        assert args.workers == 2
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -68,3 +84,43 @@ class TestCommands:
                      "--pool", "nonsense", "--count", "2"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+    def test_campaign_workers_journal_then_resume(self, capsys, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        code = main(["--values", "7,2,5", "campaign", "--model", "bitflip",
+                     "--count", "4", "--workers", "2",
+                     "--journal", journal])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n=4" in out
+        code = main(["resume", journal])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 journaled, 0 pending" in out
+        assert "failure" in out
+
+    def test_campaign_workers_rejects_vfit(self, capsys):
+        code = main(["--values", "7,2,5", "campaign", "--tool", "vfit",
+                     "--model", "bitflip", "--count", "2",
+                     "--workers", "2"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_resume_missing_journal_fails_cleanly(self, capsys, tmp_path):
+        code = main(["resume", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_screen_threads_the_cli_seed(self, capsys, monkeypatch):
+        from repro.core.campaign import FadesCampaign
+        seen = {}
+
+        def fake_screen(self, cycles, samples_per_ff=2, seed=None):
+            seen["seed"] = seed
+            return []
+
+        monkeypatch.setattr(FadesCampaign, "screen_sensitive_ffs",
+                            fake_screen)
+        code = main(["--values", "7,2,5", "--seed", "99", "screen"])
+        assert code == 0
+        assert seen["seed"] == 99

@@ -1,0 +1,319 @@
+"""Tests for the campaign execution runtime (:mod:`repro.runtime`).
+
+The heart of this module is the determinism contract: for one job spec
+and seed, serial in-process execution, a one-worker pool and a
+four-worker pool must produce identical outcomes — and a campaign
+interrupted mid-flight must, after resume, tally exactly like one that
+never crashed.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.analysis import Evaluation
+from repro.core import FaultModel, build_fades
+from repro.core.campaign import FadesCampaign
+from repro.core.config import FaultLoadSpec
+from repro.core.faults import Fault, Target, TargetKind
+from repro.errors import JournalError, SchedulerError
+from repro.runtime import (CampaignJobSpec, CampaignMetrics, JobRunner,
+                           MAX_SHARD_SIZE, derive_fault_seed, plan_shards,
+                           read_journal, resume_campaign, run_campaign)
+
+from helpers import build_counter
+
+COUNT = 8
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    return Evaluation()
+
+
+@pytest.fixture(scope="module")
+def jobspec(evaluation):
+    spec = evaluation.spec(FaultModel.BITFLIP, "ffs", 1, COUNT)
+    return CampaignJobSpec.from_evaluation(evaluation, spec,
+                                           faultload_seed=evaluation.seed)
+
+
+@pytest.fixture(scope="module")
+def serial_result(jobspec):
+    return run_campaign(jobspec)
+
+
+def outcomes(result):
+    return [experiment.outcome for experiment in result.experiments]
+
+
+class TestDeterminism:
+    def test_engine_serial_matches_legacy_path(self, evaluation, jobspec,
+                                               serial_result):
+        legacy = evaluation.fades.run(jobspec.spec, seed=evaluation.seed)
+        assert outcomes(legacy) == outcomes(serial_result)
+        assert legacy.counts().as_dict() == \
+            serial_result.counts().as_dict()
+        assert legacy.mean_emulation_s == \
+            pytest.approx(serial_result.mean_emulation_s)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_worker_pool_matches_serial(self, jobspec, serial_result,
+                                        workers):
+        result = run_campaign(jobspec, workers=workers)
+        assert outcomes(result) == outcomes(serial_result)
+        assert result.counts().as_dict() == \
+            serial_result.counts().as_dict()
+        assert result.mean_emulation_s == \
+            pytest.approx(serial_result.mean_emulation_s)
+
+    def test_oscillating_faults_shard_deterministically(self, evaluation):
+        # Oscillating indeterminations consume the injector randomiser
+        # every cycle — the per-fault reseed must still make sharded
+        # execution order-independent.
+        spec = evaluation.spec(FaultModel.INDETERMINATION, "ffs", 2, 6,
+                               oscillate=True)
+        jobspec = CampaignJobSpec.from_evaluation(
+            evaluation, spec, faultload_seed=evaluation.seed)
+        serial = run_campaign(jobspec)
+        sharded = run_campaign(jobspec, workers=2)
+        assert outcomes(sharded) == outcomes(serial)
+
+    def test_derive_fault_seed_is_stable_and_distinct(self):
+        seeds = [derive_fault_seed(2006, index) for index in range(64)]
+        assert len(set(seeds)) == 64
+        assert seeds == [derive_fault_seed(2006, index)
+                         for index in range(64)]
+        assert seeds != [derive_fault_seed(2007, index)
+                         for index in range(64)]
+
+
+class Interrupted(RuntimeError):
+    """Injected mid-campaign 'crash' for resume tests."""
+
+
+class TestJournalResume:
+    def test_resume_after_interrupt(self, jobspec, serial_result,
+                                    tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+
+        def crash_after_three(snapshot):
+            if snapshot.completed >= 3:
+                raise Interrupted()
+
+        with pytest.raises(Interrupted):
+            run_campaign(jobspec, journal=journal,
+                         progress=crash_after_three)
+        state = read_journal(journal)
+        assert state.header is not None
+        assert len(state.records) == 3
+        assert state.summary is None
+
+        snapshots = []
+        resumed = resume_campaign(journal, progress=snapshots.append)
+        assert outcomes(resumed) == outcomes(serial_result)
+        assert resumed.counts().as_dict() == \
+            serial_result.counts().as_dict()
+        # The resumed run skipped the journaled three and only executed
+        # the remaining five.
+        assert snapshots[-1].skipped == 3
+        assert snapshots[-1].completed == COUNT - 3
+        state = read_journal(journal)
+        assert len(state.records) == COUNT
+        assert state.summary is not None
+        assert state.summary["failure"] == serial_result.counts().failure
+
+    def test_rerun_skips_complete_journal(self, jobspec, serial_result,
+                                          tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        run_campaign(jobspec, journal=journal)
+        snapshots = []
+        again = run_campaign(jobspec, journal=journal,
+                             progress=snapshots.append)
+        assert outcomes(again) == outcomes(serial_result)
+        assert snapshots[-1].skipped == COUNT
+        assert snapshots[-1].completed == 0
+
+    def test_torn_tail_line_is_dropped(self, jobspec, serial_result,
+                                       tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+
+        def crash_after_two(snapshot):
+            if snapshot.completed >= 2:
+                raise Interrupted()
+
+        with pytest.raises(Interrupted):
+            run_campaign(jobspec, journal=journal,
+                         progress=crash_after_two)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "record", "index": 5, "outc')
+        state = read_journal(journal)
+        assert state.dropped_lines == 1
+        assert len(state.records) == 2
+        resumed = resume_campaign(journal)
+        assert resumed.counts().as_dict() == \
+            serial_result.counts().as_dict()
+
+    def test_journal_rejects_different_campaign(self, jobspec, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        run_campaign(jobspec, journal=journal)
+        other = jobspec.with_count(COUNT + 1)
+        with pytest.raises(JournalError):
+            run_campaign(other, journal=journal)
+
+    def test_resume_needs_a_header(self, tmp_path):
+        journal = tmp_path / "empty.jsonl"
+        journal.write_text("")
+        with pytest.raises(JournalError):
+            resume_campaign(str(journal))
+        with pytest.raises(JournalError):
+            resume_campaign(str(tmp_path / "missing.jsonl"))
+
+    def test_jobspec_roundtrips_through_header(self, jobspec):
+        assert CampaignJobSpec.from_dict(jobspec.to_dict()) == jobspec
+
+
+class TestScheduler:
+    def test_plan_shards_partitions_exactly(self):
+        indices = list(range(100))
+        shards = plan_shards(indices, workers=4)
+        covered = [index for shard in shards for index in shard.indices]
+        assert sorted(covered) == indices
+        assert all(len(shard.indices) <= MAX_SHARD_SIZE
+                   for shard in shards)
+        assert len({shard.shard_id for shard in shards}) == len(shards)
+
+    def test_plan_shards_explicit_size_and_empty(self):
+        assert plan_shards([], workers=4) == []
+        shards = plan_shards(list(range(10)), workers=2, shard_size=3)
+        assert [len(shard.indices) for shard in shards] == [3, 3, 3, 1]
+
+    @pytest.mark.skipif(not HAS_FORK,
+                        reason="crash simulation needs fork start method")
+    def test_worker_crash_requeues_and_respawns(self, jobspec,
+                                                serial_result, tmp_path,
+                                                monkeypatch):
+        flag = tmp_path / "crashed-once"
+        original = JobRunner.run_index
+
+        def sabotage(self, index):
+            if index == 2 and not flag.exists():
+                flag.write_text("boom")
+                os._exit(13)
+            return original(self, index)
+
+        monkeypatch.setattr(JobRunner, "run_index", sabotage)
+        snapshots = []
+        result = run_campaign(jobspec, workers=2,
+                              progress=snapshots.append)
+        assert flag.exists()
+        assert snapshots[-1].retries >= 1
+        assert outcomes(result) == outcomes(serial_result)
+
+    @pytest.mark.skipif(not HAS_FORK,
+                        reason="crash simulation needs fork start method")
+    def test_persistent_failure_exhausts_retries(self, jobspec,
+                                                 monkeypatch):
+        original = JobRunner.run_index
+
+        def sabotage(self, index):
+            if index == 1:
+                raise ValueError("always broken")
+            return original(self, index)
+
+        monkeypatch.setattr(JobRunner, "run_index", sabotage)
+        with pytest.raises(SchedulerError):
+            run_campaign(jobspec, workers=1, max_retries=1)
+
+
+class TestMetrics:
+    def test_phases_throughput_and_eta(self):
+        now = [0.0]
+        metrics = CampaignMetrics(clock=lambda: now[0])
+        metrics.set_total(10, skipped=2)
+        with metrics.phase("setup"):
+            now[0] += 1.0
+        with metrics.phase("experiments"):
+            now[0] += 2.0
+            metrics.record({"cost": {"locate_s": 0.5, "transfer_s": 0.25,
+                                     "workload_s": 0.25,
+                                     "overhead_s": 0.0}})
+        snapshot = metrics.snapshot()
+        assert snapshot.phases["setup"] == pytest.approx(1.0)
+        assert snapshot.phases["experiments"] == pytest.approx(2.0)
+        assert snapshot.completed == 1
+        assert snapshot.skipped == 2
+        assert snapshot.pending == 7
+        assert snapshot.emulated_s == pytest.approx(1.0)
+        assert snapshot.throughput == pytest.approx(1.0 / 3.0)
+        assert snapshot.eta_s == pytest.approx(21.0)
+        assert "exp/s" in snapshot.render()
+
+    def test_progress_interval_throttles_callbacks(self):
+        snapshots = []
+        metrics = CampaignMetrics(progress=snapshots.append,
+                                  progress_interval=3)
+        metrics.set_total(7)
+        for _ in range(7):
+            metrics.record({})
+        assert [snapshot.completed for snapshot in snapshots] == [3, 6, 7]
+
+    def test_zero_wall_clock_is_safe(self):
+        metrics = CampaignMetrics(clock=lambda: 0.0)
+        snapshot = metrics.snapshot()
+        assert snapshot.throughput == 0.0
+        assert snapshot.eta_s == float("inf")
+
+
+class TestGoldenCache:
+    def _bitflip(self, start):
+        return Fault(FaultModel.BITFLIP, Target(TargetKind.FF, 0), start)
+
+    def test_golden_simulated_once_across_classes(self):
+        campaign = build_fades(build_counter(), seed=1,
+                               inputs={"en": 1})
+        campaign.run_faults([self._bitflip(3)], 40, label="class-a")
+        campaign.run_faults([self._bitflip(7)], 40, label="class-b")
+        assert campaign.golden_simulations == 1
+
+    def test_golden_keyed_by_workload_and_cycles(self):
+        campaign = build_fades(build_counter(), seed=1,
+                               inputs={"en": 1})
+        campaign.golden_run(40)
+        campaign.golden_run(60)
+        assert campaign.golden_simulations == 2
+        # Changing the workload (the constant input assignment) must not
+        # serve the stale trace.
+        enabled = campaign.golden_run(40)
+        campaign.inputs["en"] = 0
+        disabled = campaign.golden_run(40)
+        assert campaign.golden_simulations == 3
+        assert not disabled.same_outputs(enabled)
+
+
+class TestScreenSeed:
+    def test_screen_default_seed_is_historical(self):
+        campaign = build_fades(build_counter(), seed=1, inputs={"en": 1})
+        default = campaign.screen_sensitive_ffs(40, samples_per_ff=1)
+        pinned = campaign.screen_sensitive_ffs(40, samples_per_ff=1,
+                                               seed=7)
+        assert default == pinned
+
+    def test_screen_seed_reaches_the_rng(self, monkeypatch):
+        import random as random_module
+        seen = []
+        original = random_module.Random
+
+        class Spy(original):
+            def __init__(self, seed=None):
+                seen.append(seed)
+                super().__init__(seed)
+
+        monkeypatch.setattr("repro.core.campaign.random.Random", Spy)
+        campaign = build_fades(build_counter(), seed=1, inputs={"en": 1})
+        seen.clear()
+        campaign.screen_sensitive_ffs(40, samples_per_ff=1, seed=99)
+        assert seen[0] == 99
