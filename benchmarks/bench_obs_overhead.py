@@ -1,0 +1,78 @@
+"""Observability overhead — tracing must be (near) free when off.
+
+Runs the same fault-injection workload twice through one
+:class:`~repro.runtime.jobspec.JobRunner` — spans disabled, then
+enabled — and asserts the tracing layer costs less than 5% of campaign
+wall-clock.  The margin guards the hot path: every experiment opens a
+handful of spans (experiment/reconfigure/run/readback/classify), so a
+regression here multiplies across whole campaigns.
+
+Scale: 200 faults by default (``REPRO_OBS_BENCH_FAULTS=<n>`` overrides);
+timings are min-of-3 to shed scheduler noise.  The verdict is persisted
+to ``benchmarks/results/BENCH_obs_overhead.json``.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core import FaultModel
+from repro.obs.tracing import TRACER
+from repro.runtime import CampaignJobSpec
+from repro.runtime.jobspec import JobRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+MAX_OVERHEAD = 0.05
+ROUNDS = 3
+
+
+def _time_runs(runner, indices, enabled):
+    best = float("inf")
+    for _ in range(ROUNDS):
+        TRACER.reset(enabled=enabled)
+        start = time.perf_counter()
+        records = runner.run_indices(indices)
+        best = min(best, time.perf_counter() - start)
+        assert len(records) == len(indices)
+        events = TRACER.drain()
+        if enabled:
+            assert len(events) >= len(indices)  # spans really recorded
+        else:
+            assert events == []
+    TRACER.disable()
+    return best
+
+
+def test_tracing_overhead_under_5_percent(evaluation, record_artefact):
+    count = int(os.environ.get("REPRO_OBS_BENCH_FAULTS", "200"))
+    spec = evaluation.spec(FaultModel.BITFLIP, "ffs", count=count)
+    jobspec = CampaignJobSpec.from_evaluation(evaluation, spec)
+    runner = JobRunner(jobspec)
+    indices = tuple(range(count))
+
+    disabled_s = _time_runs(runner, indices, enabled=False)
+    enabled_s = _time_runs(runner, indices, enabled=True)
+    overhead = (enabled_s - disabled_s) / disabled_s
+
+    result = {
+        "faults": count,
+        "rounds": ROUNDS,
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": MAX_OVERHEAD,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs_overhead.json").write_text(
+        json.dumps(result, indent=2) + "\n")
+    record_artefact(
+        "obs_overhead",
+        f"tracing overhead: {count} faults | "
+        f"disabled {disabled_s:.3f} s | enabled {enabled_s:.3f} s | "
+        f"overhead {overhead * 100:+.2f}% (budget "
+        f"{MAX_OVERHEAD * 100:.0f}%)")
+    assert overhead < MAX_OVERHEAD, (
+        f"tracing adds {overhead * 100:.1f}% (> "
+        f"{MAX_OVERHEAD * 100:.0f}% budget)")

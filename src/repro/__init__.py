@@ -20,6 +20,8 @@ The package rebuilds the paper's full stack in Python:
     The VFIT baseline: simulator-command injection on the HDL model.
 ``repro.analysis``
     Regeneration of every table and figure of the paper's evaluation.
+``repro.obs``
+    Observability: tracing, metrics, structured logging, profiling.
 
 Quickstart::
 
@@ -33,7 +35,7 @@ Quickstart::
     print(fades.run(spec).counts())
 """
 
-from . import analysis, core, errors, fpga, hdl, mc8051, synth, vfit
+from . import analysis, core, errors, fpga, hdl, mc8051, obs, synth, vfit
 from .core import build_fades
 
 __version__ = "1.0.0"
@@ -45,6 +47,7 @@ __all__ = [
     "fpga",
     "hdl",
     "mc8051",
+    "obs",
     "synth",
     "vfit",
     "build_fades",

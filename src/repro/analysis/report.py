@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.tracing import span
 from .experiments import Evaluation
 from .figures import (generate_fig10, generate_fig11, generate_fig12,
                       generate_fig13, generate_fig14, generate_fig15)
@@ -20,19 +21,25 @@ def full_report(evaluation: Optional[Evaluation] = None,
                 count: Optional[int] = None) -> str:
     """Regenerate tables 1–4 and figures 10–15 as one text report."""
     evaluation = evaluation if evaluation is not None else Evaluation()
-    sections = [
-        evaluation.fades.impl.describe(),
-        render_table1(generate_table1(evaluation)),
-        render_table2(generate_table2(evaluation, count)),
-        render_table3(generate_table3(evaluation, count)),
-        render_table4(generate_table4(evaluation)),
-        generate_fig10(evaluation, count).render(),
-        generate_fig11(evaluation, count).render(),
-        generate_fig12(evaluation, count).render(),
-        generate_fig13(evaluation, count).render(),
-        generate_fig14(evaluation, count).render(),
-        generate_fig15(evaluation, count).render(),
+    artefacts = [
+        ("implementation", lambda: evaluation.fades.impl.describe()),
+        ("table1", lambda: render_table1(generate_table1(evaluation))),
+        ("table2", lambda: render_table2(generate_table2(evaluation,
+                                                         count))),
+        ("table3", lambda: render_table3(generate_table3(evaluation,
+                                                         count))),
+        ("table4", lambda: render_table4(generate_table4(evaluation))),
+        ("fig10", lambda: generate_fig10(evaluation, count).render()),
+        ("fig11", lambda: generate_fig11(evaluation, count).render()),
+        ("fig12", lambda: generate_fig12(evaluation, count).render()),
+        ("fig13", lambda: generate_fig13(evaluation, count).render()),
+        ("fig14", lambda: generate_fig14(evaluation, count).render()),
+        ("fig15", lambda: generate_fig15(evaluation, count).render()),
     ]
+    sections = []
+    for name, build in artefacts:
+        with span("report", artefact=name):
+            sections.append(build())
     return "\n\n".join(sections)
 
 

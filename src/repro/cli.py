@@ -10,19 +10,27 @@ emulated, the fault location and duration, the observation points"
     python -m repro campaign --model pulse --pool luts:ALU --count 20
     python -m repro campaign --tool vfit --model bitflip --pool ffs
     python -m repro campaign --model bitflip --workers 4 --journal out.jsonl
+    python -m repro campaign --model bitflip --workers 4 --trace t.json \
+        --metrics m.prom
     python -m repro resume out.jsonl --workers 4
+    python -m repro obs summarize t.json
     python -m repro screen
     python -m repro seu --count 40 --occupied
     python -m repro report --count 8 --workers 4
 
 All commands run on the 8051 + Bubblesort testbed; ``--values`` changes
 the array being sorted (and thereby the workload length).
+
+Output discipline: diagnostics and progress go through the ``repro.*``
+loggers to stderr (``--log-level`` / ``--log-json``); stdout carries only
+the final deliverable — result tallies, report tables, JSON payloads —
+via :func:`repro.obs.logsetup.console`.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import json
 from typing import Optional, Sequence
 
 from .analysis import Evaluation
@@ -30,6 +38,10 @@ from .analysis.report import full_report
 from .core import FaultModel, run_config_seu_campaign
 from .core.faults import BAND_LABELS, DURATION_BANDS
 from .errors import ReproError
+from .obs import console, get_logger, setup_logging
+from .obs.metrics import REGISTRY
+
+log = get_logger("repro.cli")
 
 
 def _parse_values(text: str) -> tuple:
@@ -44,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default=(9, 3, 12, 5),
                         help="workload array to sort (comma-separated)")
     parser.add_argument("--seed", type=int, default=2006)
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"),
+                        help="stderr logging threshold")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit stderr logs as JSON lines")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser(
@@ -71,12 +88,35 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--journal", default=None,
                           help="append-only JSONL result journal; "
                                "re-running skips journaled experiments")
+    campaign.add_argument("--trace", default=None, metavar="PATH",
+                          help="write a Chrome/Perfetto span trace here "
+                               "(inspect with 'repro obs summarize')")
+    campaign.add_argument("--metrics", default=None, metavar="PATH",
+                          help="export the metrics registry on exit "
+                               "(.json for JSON, else Prometheus text)")
+    campaign.add_argument("--profile", default=None, metavar="PREFIX",
+                          help="write per-phase cProfile artifacts to "
+                               "PREFIX.<phase>.pstats")
 
     resume = commands.add_parser(
         "resume", help="finish a journaled campaign (crash recovery)")
     resume.add_argument("journal", help="journal written by campaign "
                                         "--journal")
     resume.add_argument("--workers", type=int, default=0)
+    resume.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a span trace of the resumed portion")
+    resume.add_argument("--metrics", default=None, metavar="PATH",
+                        help="export the metrics registry on exit")
+
+    obs = commands.add_parser(
+        "obs", help="observability tooling (trace summaries)")
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_commands.add_parser(
+        "summarize", help="per-phase/per-mechanism time table from a "
+                          "trace file (compare with paper Table 2)")
+    summarize.add_argument("trace", help="trace written by --trace")
+    summarize.add_argument("--json", action="store_true",
+                           help="emit the summary as JSON")
 
     commands.add_parser(
         "screen", help="find the failure-sensitive flip-flops (paper 6.3)")
@@ -104,19 +144,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_info(evaluation: Evaluation) -> int:
-    print(f"workload : {evaluation.workload.description} "
-          f"({evaluation.cycles} cycles)")
+    console(f"workload : {evaluation.workload.description} "
+            f"({evaluation.cycles} cycles)")
     stats = evaluation.model.netlist.stats()
-    print(f"model    : {stats['gates']} gates, {stats['dffs']} FFs, "
-          f"{stats['brams']} memories, depth {stats['depth']}")
-    print(f"implement: {evaluation.fades.impl.describe()}")
+    console(f"model    : {stats['gates']} gates, {stats['dffs']} FFs, "
+            f"{stats['brams']} memories, depth {stats['depth']}")
+    console(f"implement: {evaluation.fades.impl.describe()}")
     locmap = evaluation.fades.locmap
-    print(f"locations: {locmap.summary()}")
+    console(f"locations: {locmap.summary()}")
     for unit in locmap.units():
         if not unit:
             continue
-        print(f"  unit {unit:<5} {len(locmap.luts_in_unit(unit)):>4} LUTs "
-              f"{len(locmap.ffs_in_unit(unit)):>4} FFs")
+        console(f"  unit {unit:<5} "
+                f"{len(locmap.luts_in_unit(unit)):>4} LUTs "
+                f"{len(locmap.ffs_in_unit(unit)):>4} FFs")
     return 0
 
 
@@ -127,9 +168,26 @@ def _progress_printer(total: int):
     def show(snapshot) -> None:
         done = snapshot.completed + snapshot.skipped
         if snapshot.completed % stride == 0 or done >= snapshot.total:
-            print(f"  {snapshot.render()}", file=sys.stderr)
+            log.info(snapshot.render())
 
     return show
+
+
+def _export_metrics(path: str) -> None:
+    """Write the process-wide registry (JSON or Prometheus text)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if path.endswith(".json"):
+            handle.write(REGISTRY.render_json() + "\n")
+        else:
+            handle.write(REGISTRY.render_text())
+    log.info("metrics exported to %s", path)
+
+
+def _render_result(heading: str, result) -> None:
+    console(heading)
+    console(str(result.counts()))
+    console(f"mean emulated time: {result.mean_emulation_s:.3f} s/fault "
+            f"(campaign total {result.total_emulation_s:.1f} s)")
 
 
 def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
@@ -137,11 +195,13 @@ def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
     spec = evaluation.spec(model, args.pool, band=args.band,
                            count=args.count, oscillate=args.oscillate,
                            mechanism=args.mechanism)
-    engine_requested = args.workers > 0 or args.journal is not None
+    engine_requested = (args.workers > 0 or args.journal is not None
+                        or args.trace is not None
+                        or args.profile is not None)
     if engine_requested and args.tool != "fades":
-        print("error: --workers/--journal need --tool fades "
-              "(the runtime engine drives FADES campaigns only)",
-              file=sys.stderr)
+        log.error("--workers/--journal/--trace/--profile need --tool "
+                  "fades (the runtime engine drives FADES campaigns "
+                  "only)")
         return 1
     if engine_requested:
         from .runtime import CampaignJobSpec, run_campaign
@@ -149,17 +209,20 @@ def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
             evaluation, spec, faultload_seed=args.seed)
         result = run_campaign(jobspec, workers=args.workers,
                               journal=args.journal,
+                              trace=args.trace, profile=args.profile,
                               progress=_progress_printer(args.count))
+        if args.trace:
+            log.info("trace written to %s", args.trace)
     else:
         tool = evaluation.fades if args.tool == "fades" else evaluation.vfit
         result = tool.run(spec, seed=args.seed)
-    print(f"{args.tool.upper()} | {model.value} @ {args.pool} | "
-          f"duration {BAND_LABELS[args.band]} cycles "
-          f"({DURATION_BANDS[args.band][0]:g}-"
-          f"{DURATION_BANDS[args.band][1]:g}) | n={args.count}")
-    print(result.counts())
-    print(f"mean emulated time: {result.mean_emulation_s:.3f} s/fault "
-          f"(campaign total {result.total_emulation_s:.1f} s)")
+    if args.metrics:
+        _export_metrics(args.metrics)
+    _render_result(
+        f"{args.tool.upper()} | {model.value} @ {args.pool} | "
+        f"duration {BAND_LABELS[args.band]} cycles "
+        f"({DURATION_BANDS[args.band][0]:g}-"
+        f"{DURATION_BANDS[args.band][1]:g}) | n={args.count}", result)
     return 0
 
 
@@ -170,16 +233,27 @@ def cmd_resume(args: argparse.Namespace) -> int:
     if state.header is not None:
         pending = state.jobspec.spec.count - len(
             state.done_indices(state.jobspec.spec.count))
-        print(f"resuming {state.jobspec.display_label()} | "
-              f"{len(state.records)} journaled, {pending} pending")
+        log.info("resuming %s | %d journaled, %s pending",
+                 state.jobspec.display_label(), len(state.records),
+                 pending)
     result = resume_campaign(
-        args.journal, workers=args.workers,
+        args.journal, workers=args.workers, trace=args.trace,
         progress=_progress_printer(pending if isinstance(pending, int)
                                    else 1))
-    print(result.spec_label)
-    print(result.counts())
-    print(f"mean emulated time: {result.mean_emulation_s:.3f} s/fault "
-          f"(campaign total {result.total_emulation_s:.1f} s)")
+    if args.metrics:
+        _export_metrics(args.metrics)
+    _render_result(result.spec_label, result)
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import read_trace, render_summary, summarize_trace
+    events = read_trace(args.trace)
+    summary = summarize_trace(events)
+    if args.json:
+        console(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        console(render_summary(summary))
     return 0
 
 
@@ -187,10 +261,10 @@ def cmd_screen(evaluation: Evaluation, args: argparse.Namespace) -> int:
     sensitive = evaluation.fades.screen_sensitive_ffs(evaluation.cycles,
                                                       seed=args.seed)
     total = len(evaluation.fades.locmap.mapped.ffs)
-    print(f"{len(sensitive)} of {total} flip-flops are failure-sensitive "
-          "for this workload (paper found 81 of 637):")
+    console(f"{len(sensitive)} of {total} flip-flops are "
+            "failure-sensitive for this workload (paper found 81 of 637):")
     names = [evaluation.fades.locmap.mapped.ffs[i].name for i in sensitive]
-    print("  " + ", ".join(names))
+    console("  " + ", ".join(names))
     return 0
 
 
@@ -198,15 +272,18 @@ def cmd_seu(evaluation: Evaluation, args: argparse.Namespace) -> int:
     report = run_config_seu_campaign(
         evaluation.fades, args.count, evaluation.cycles, seed=args.seed,
         occupied_only=args.occupied)
-    print(report.render())
+    console(report.render())
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    evaluation = Evaluation(values=args.values, seed=args.seed)
+    setup_logging(level=args.log_level, json_mode=args.log_json)
     try:
+        if args.command == "obs":
+            return cmd_obs(args)
+        evaluation = Evaluation(values=args.values, seed=args.seed)
         if args.command == "info":
             return cmd_info(evaluation)
         if args.command == "campaign":
@@ -219,19 +296,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_seu(evaluation, args)
         if args.command == "report":
             evaluation.workers = args.workers
-            print(full_report(evaluation, count=args.count))
+            console(full_report(evaluation, count=args.count))
             return 0
         if args.command == "run-spec":
-            import json
             from .analysis.specfile import run_spec_file
             report = run_spec_file(args.spec, args.output)
-            print(json.dumps(report, indent=2))
+            console(json.dumps(report, indent=2))
             return 0
     except (ReproError, OSError, ValueError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        log.error("%s", error)
         return 1
     return 2
 
 
 if __name__ == "__main__":
+    import sys
     sys.exit(main())

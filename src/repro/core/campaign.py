@@ -26,12 +26,21 @@ from ..fpga.device import Device
 from ..fpga.implement import Implementation
 from ..fpga.jbits import JBits
 from ..hdl.trace import Trace
+from ..obs import metrics as obs_metrics
+from ..obs.tracing import span
 from ..synth.locmap import LocationMap
 from .classify import Outcome, OutcomeCounts, classify
 from .config import FaultLoadSpec, generate_faultload, pool_size
 from .faults import Fault
 from .injector import FadesInjector
 from .timing_model import EmulationTimeModel, ExperimentCost, FadesTimingParams
+
+_RECONFIG_SECONDS = obs_metrics.histogram(
+    "reconfig_seconds",
+    "Emulated reconfiguration seconds per experiment by Table 1 mechanism.",
+    buckets=(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0))
+_EXPERIMENTS = obs_metrics.counter(
+    "experiments_total", "Completed experiments by outcome.")
 
 
 @dataclass
@@ -136,14 +145,28 @@ class FadesCampaign:
         return trace
 
     # ------------------------------------------------------------------
-    def run_experiment(self, fault: Fault, cycles: int,
-                       pool: int = 0) -> ExperimentResult:
-        """One experiment of figure 1; device ends restored to golden."""
+    def run_experiment(self, fault: Fault, cycles: int, pool: int = 0,
+                       index: Optional[int] = None) -> ExperimentResult:
+        """One experiment of figure 1; device ends restored to golden.
+
+        ``index`` is purely observability metadata: the runtime passes
+        the fault's campaign index so worker trace spans stay keyed to
+        the journal record they produced.
+        """
+        with span("experiment", index=index, model=fault.model.value,
+                  target=fault.target.kind.value):
+            return self._run_experiment(fault, cycles, pool)
+
+    def _run_experiment(self, fault: Fault, cycles: int,
+                        pool: int) -> ExperimentResult:
         device = self.device
         marker = self.time_model.begin_experiment()
+        board_marker = self.board.snapshot()
         self.board.set_label(fault.model.value)
 
         injection = self.injector.prepare(fault)
+        mechanism = (getattr(injection, "mechanism_label", "")
+                     or fault.model.value)
         if fault.duration_cycles >= 1.0:
             window = fault.whole_cycles
         else:
@@ -169,35 +192,55 @@ class FadesCampaign:
 
         removed = False
         injected = False
-        for cycle in range(first_cycle, cycles):
-            if cycle == start:
-                injection.inject()
-                injected = True
-                if window == 0 and fault.model.transient:
-                    injection.remove()
+        with span("run", cycles=cycles, first_cycle=first_cycle):
+            for cycle in range(first_cycle, cycles):
+                if cycle == start:
+                    with span("reconfigure", mechanism=mechanism,
+                              op="inject"):
+                        injection.inject()
+                    injected = True
+                    if window == 0 and fault.model.transient:
+                        with span("reconfigure", mechanism=mechanism,
+                                  op="remove"):
+                            injection.remove()
+                        removed = True
+                if (injected and not removed
+                        and start <= cycle < start + window):
+                    injection.tick(cycle - start)
+                trace.record(device.step(self.inputs if cycle == 0
+                                         else None))
+                if (injected and not removed and fault.model.transient
+                        and cycle >= start + window - 1):
+                    with span("reconfigure", mechanism=mechanism,
+                              op="remove"):
+                        injection.remove()
                     removed = True
-            if injected and not removed and start <= cycle < start + window:
-                injection.tick(cycle - start)
-            trace.record(device.step(self.inputs if cycle == 0 else None))
-            if (injected and not removed and fault.model.transient
-                    and cycle >= start + window - 1):
-                injection.remove()
-                removed = True
-        if injected and not removed and fault.model.transient:
-            injection.remove()
-        trace.final_state = device.state_snapshot()
-        trace.cycles = cycles
+            if injected and not removed and fault.model.transient:
+                with span("reconfigure", mechanism=mechanism, op="remove"):
+                    injection.remove()
+        # Emulated board seconds this experiment spent on the link: every
+        # injection/removal transaction since the marker (the host-side
+        # golden restore below bypasses the board, so it never counts).
+        _RECONFIG_SECONDS.observe(self.board.since(board_marker)[1],
+                                  mechanism=mechanism)
 
-        # Restore the golden image for persistent faults (bit-flips and
-        # permanent models leave frames modified) *before* any golden run
-        # can execute on this device.
-        self._restore_configuration()
+        with span("readback", mechanism=mechanism):
+            trace.final_state = device.state_snapshot()
+            trace.cycles = cycles
+            # Restore the golden image for persistent faults (bit-flips
+            # and permanent models leave frames modified) *before* any
+            # golden run can execute on this device.
+            self._restore_configuration()
+
         golden = self.golden_run(cycles)
         cost = self.time_model.end_experiment(marker, cycles, pool)
-        outcome = classify(golden, trace)
+        with span("classify"):
+            outcome = classify(golden, trace)
+            first_divergence = trace.first_divergence(golden)
+        _EXPERIMENTS.inc(outcome=outcome.value)
         return ExperimentResult(
             fault=fault, outcome=outcome, cost=cost,
-            first_divergence=trace.first_divergence(golden))
+            first_divergence=first_divergence)
 
     def _restore_configuration(self) -> None:
         golden = self.impl.golden_bitstream
@@ -225,9 +268,9 @@ class FadesCampaign:
         golden = self.golden_run(cycles)
         result = CampaignResult(spec_label=label, golden=golden)
         start_index = len(self.time_model.costs)
-        for fault in faults:
+        for index, fault in enumerate(faults):
             result.experiments.append(
-                self.run_experiment(fault, cycles, pool=pool))
+                self.run_experiment(fault, cycles, pool=pool, index=index))
         costs = self.time_model.costs[start_index:]
         result.total_emulation_s = sum(cost.total_s for cost in costs)
         if costs:

@@ -33,7 +33,11 @@ from typing import List, Optional, Tuple
 from ..errors import InjectionError, LocationError
 from ..fpga.bitstream import CbConfig
 from ..fpga.jbits import JBits
+from ..obs import metrics
 from .faults import Fault, FaultModel, TargetKind
+
+_INJECTIONS = metrics.counter(
+    "injections_total", "Prepared fault injections by model and target.")
 
 
 def invert_lut_line(tt: int, line: int, n_inputs: int = 4) -> int:
@@ -73,6 +77,10 @@ def stuck_lut_line(tt: int, line: int, value: int) -> int:
 class Injection:
     """Base class: one prepared fault, ready to drive through the device."""
 
+    #: Table 1 mechanism this injection times (used by the observability
+    #: layer to label ``reconfigure`` spans and ``reconfig_seconds``).
+    mechanism_label = ""
+
     def __init__(self, fault: Fault):
         self.fault = fault
 
@@ -111,6 +119,8 @@ class FadesInjector:
     # ------------------------------------------------------------------
     def prepare(self, fault: Fault) -> Injection:
         """Build the mechanism-specific injection for *fault*."""
+        _INJECTIONS.inc(model=fault.model.value,
+                        target=fault.target.kind.value)
         model = fault.model
         if model is FaultModel.BITFLIP and fault.extra_targets:
             from .multiple import prepare_multiple
@@ -189,6 +199,8 @@ class _LsrBitflip(Injection):
     :meth:`remove` is a no-op.
     """
 
+    mechanism_label = "ff-lsr"
+
     def __init__(self, injector: FadesInjector, fault: Fault):
         super().__init__(fault)
         self.injector = injector
@@ -213,6 +225,8 @@ class _GsrBitflip(Injection):
     inverted, pulsing GSR, and restoring all srvals — "the high amount of
     information to be transferred... slows down the emulation process".
     """
+
+    mechanism_label = "ff-gsr"
 
     def __init__(self, injector: FadesInjector, fault: Fault):
         super().__init__(fault)
@@ -255,6 +269,8 @@ class _MemoryBitflip(Injection):
     configuration is skipped".
     """
 
+    mechanism_label = "memory-rmw"
+
     def __init__(self, injector: FadesInjector, fault: Fault):
         super().__init__(fault)
         self.injector = injector
@@ -284,6 +300,8 @@ class _LutPulse(Injection):
     readback verification, matching the paper's observation that such
     pulses need "two injections" and twice the emulation time.
     """
+
+    mechanism_label = "lut-rewrite"
 
     def __init__(self, injector: FadesInjector, fault: Fault):
         super().__init__(fault)
@@ -322,6 +340,8 @@ class _CbInputPulse(Injection):
     for the targeted line" — one frame write each way, the cheapest
     transient mechanism.
     """
+
+    mechanism_label = "cb-input-mux"
 
     def __init__(self, injector: FadesInjector, fault: Fault):
         super().__init__(fault)
@@ -419,6 +439,8 @@ class _FanoutDelay(_DelayBase):
     propagation delays".
     """
 
+    mechanism_label = "delay-fanout"
+
     def __init__(self, injector: FadesInjector, fault: Fault):
         super().__init__(injector, fault)
         params = injector.device.impl.timing.params
@@ -453,6 +475,8 @@ class _RerouteDelay(_DelayBase):
     magnitude, with the new pass transistors claimed in the driver's PM
     column (a vertical zig-zag detour), keeping the touched frames few.
     """
+
+    mechanism_label = "delay-reroute"
 
     def __init__(self, injector: FadesInjector, fault: Fault):
         super().__init__(injector, fault)
@@ -504,6 +528,8 @@ class _FfIndetermination(Injection):
     every cycle, each re-randomisation being one more reconfiguration.
     """
 
+    mechanism_label = "indet-ff"
+
     def __init__(self, injector: FadesInjector, fault: Fault):
         super().__init__(fault)
         self.injector = injector
@@ -545,6 +571,8 @@ class _LutIndetermination(Injection):
     internal buffer of the FPGA interprets" — the truth table is rewritten
     to the constant level.
     """
+
+    mechanism_label = "indet-lut"
 
     def __init__(self, injector: FadesInjector, fault: Fault):
         super().__init__(fault)

@@ -84,3 +84,8 @@ class JournalError(CampaignRuntimeError):
 class SchedulerError(CampaignRuntimeError):
     """The worker pool could not complete the campaign (a shard kept
     failing past its retry budget, or a worker died while starting up)."""
+
+
+class ObservabilityError(ReproError):
+    """Problem in the observability layer (:mod:`repro.obs`): conflicting
+    metric registrations, an unreadable trace file, ..."""

@@ -17,10 +17,18 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..obs import metrics
 from .architecture import CB_BYTES, CMD_PULSE_GSR, PM_BYTES, FrameAddr
 from .bitstream import Bitstream, CbConfig
 from .board import Board
 from .device import Device
+
+_TRANSACTIONS = metrics.counter(
+    "reconfig_transactions_total",
+    "Host-board reconfiguration transactions by operation and frame kind.")
+_BYTES = metrics.counter(
+    "reconfig_bytes_total",
+    "Bytes moved over the host-board link by operation and frame kind.")
 
 
 class JBits:
@@ -30,19 +38,25 @@ class JBits:
         self.device = device
         self.board = board if board is not None else Board()
 
+    def _transaction(self, op: str, kind: str, nbytes: int) -> float:
+        """Account one bus transaction (board cost model + metrics)."""
+        _TRANSACTIONS.inc(op=op, kind=kind)
+        _BYTES.inc(nbytes, op=op, kind=kind)
+        return self.board.transaction(op, kind, nbytes)
+
     # ------------------------------------------------------------------
     # frame-level primitives (each one is a bus transaction)
     # ------------------------------------------------------------------
     def read_frame(self, addr: FrameAddr) -> bytes:
         """Readback of one frame."""
         data = self.device.read_frame(addr)
-        self.board.transaction("read", addr.kind, len(data))
+        self._transaction("read", addr.kind, len(data))
         return data
 
     def write_frame(self, addr: FrameAddr, data: bytes) -> None:
         """Partial reconfiguration of one frame."""
         self.device.write_frame(addr, data)
-        self.board.transaction("write", addr.kind, len(data))
+        self._transaction("write", addr.kind, len(data))
 
     def write_full(self, bitstream: Bitstream) -> None:
         """Download a full configuration file (one large transaction).
@@ -53,22 +67,22 @@ class JBits:
         """
         for addr, frame in bitstream.frames.items():
             self.device.write_frame(addr, bytes(frame))
-        self.board.transaction("write_full", "full", bitstream.total_bytes())
+        self._transaction("write_full", "full", bitstream.total_bytes())
 
     def readback_full(self) -> Bitstream:
         """Read the whole configuration back (one large transaction)."""
         image = Bitstream(self.device.arch)
         for addr in image.frames:
             image.frames[addr][:] = self.device.read_frame(addr)
-        self.board.transaction("read_full", "full", image.total_bytes())
+        self._transaction("read_full", "full", image.total_bytes())
         return image
 
     def pulse_gsr(self) -> None:
         """Trigger the Global Set/Reset through the command register."""
         addr = FrameAddr("cmd", 0)
         self.device.write_frame(addr, bytes([CMD_PULSE_GSR, 0, 0, 0]))
-        self.board.transaction("write", "cmd",
-                               self.device.arch.frame_size(addr))
+        self._transaction("write", "cmd",
+                          self.device.arch.frame_size(addr))
 
     # ------------------------------------------------------------------
     # CB-level helpers (frame read-modify-write, host-cached writes)

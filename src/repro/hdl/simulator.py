@@ -26,8 +26,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
+from ..obs import metrics as obs_metrics
 from . import logic
 from .netlist import CONST0, CONST1, Netlist
+
+_SIM_CYCLES = obs_metrics.counter(
+    "sim_cycles_total", "Clock cycles executed through the batch run API.")
 
 
 class _BaseSim:
@@ -127,6 +131,9 @@ class _BaseSim:
         for _ in range(cycles):
             outputs = self.step(inputs)
             inputs = None
+        if cycles > 0:
+            # Counted per batch, not per step: step() is the hot path.
+            _SIM_CYCLES.inc(cycles, sim=type(self).__name__)
         return outputs
 
     def step(self, inputs: Optional[Dict[str, int]] = None):

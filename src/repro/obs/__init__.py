@@ -1,0 +1,32 @@
+"""Observability layer: tracing, metrics, logging, profiling.
+
+The paper's claims are time claims, so the reproduction instruments its
+own injection pipeline:
+
+* :mod:`~repro.obs.tracing` — hierarchical spans over the hot path,
+  exported in Chrome/Perfetto trace format (``--trace out.json``);
+* :mod:`~repro.obs.metrics` — process-wide counters/gauges/histograms
+  with Prometheus-text and JSON exporters (``--metrics out.prom``);
+* :mod:`~repro.obs.logsetup` — the ``repro.*`` structured-logging
+  hierarchy behind ``--log-level`` / ``--log-json``;
+* :mod:`~repro.obs.profile` — opt-in cProfile phase hooks
+  (``--profile prefix`` → ``prefix.<phase>.pstats``);
+* :mod:`~repro.obs.summary` — ``repro obs summarize``, the per-phase /
+  per-mechanism time table comparable to the paper's Table 2.
+"""
+
+from . import logsetup, metrics, profile, summary, tracing
+from .logsetup import console, get_logger, setup_logging
+from .metrics import REGISTRY, MetricsRegistry
+from .profile import PhaseProfiler
+from .summary import render_summary, summarize_trace
+from .tracing import (TRACER, Tracer, TraceWriter, read_trace, span,
+                      write_trace)
+
+__all__ = [
+    "tracing", "metrics", "logsetup", "profile", "summary",
+    "TRACER", "Tracer", "TraceWriter", "span", "read_trace",
+    "write_trace", "REGISTRY", "MetricsRegistry",
+    "setup_logging", "get_logger", "console",
+    "PhaseProfiler", "summarize_trace", "render_summary",
+]

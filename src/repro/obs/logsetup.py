@@ -1,0 +1,103 @@
+"""Structured logging for the ``repro.*`` logger hierarchy.
+
+Every module logs through ``get_logger(__name__)``; the CLI calls
+:func:`setup_logging` once per invocation to attach a stderr handler to
+the ``repro`` root logger with either a human-readable or a JSON-lines
+formatter (``--log-level`` / ``--log-json``).  Final report tables go
+through :func:`console` — the one sanctioned stdout channel — so that
+with ``--log-json`` everything on stderr is machine-parsable and stdout
+carries only the deliverable.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional
+
+ROOT_LOGGER = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class HumanFormatter(logging.Formatter):
+    """``HH:MM:SS level logger: message`` — levels lowercased."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S",
+                              time.localtime(record.created))
+        text = record.getMessage()
+        if record.exc_info:
+            text = f"{text}\n{self.formatException(record.exc_info)}"
+        return (f"{stamp} {record.levelname.lower():7s} "
+                f"{record.name}: {text}")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg (+ extras)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        extra = getattr(record, "fields", None)
+        if isinstance(extra, dict):
+            entry.update(extra)
+        return json.dumps(entry, sort_keys=True, default=str)
+
+
+def setup_logging(level: str = "info", json_mode: bool = False,
+                  stream=None) -> logging.Logger:
+    """(Re)configure the ``repro`` root logger.
+
+    Handlers are replaced — not appended — on every call, and a fresh
+    handler is built around the *current* ``sys.stderr`` so output
+    lands wherever stderr points right now (pytest redirects it per
+    test).
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(_LEVELS.get(str(level).lower(), logging.INFO))
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+        handler.close()
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode
+                         else HumanFormatter())
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Accepts either a module ``__name__`` (already ``repro.``-prefixed)
+    or a bare suffix like ``"cli"``.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def console(text: str = "") -> None:
+    """Write a final-deliverable line to stdout.
+
+    This is the *only* sanctioned stdout channel in ``src/`` (report
+    tables, ``--json`` payloads); everything diagnostic goes through
+    logging to stderr.
+    """
+    sys.stdout.write(text + "\n")

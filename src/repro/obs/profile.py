@@ -1,0 +1,60 @@
+"""Opt-in cProfile hooks around campaign phases.
+
+Tracing answers *where the wall-clock goes between phases*; profiling
+answers *where a single phase spends it, function by function*.  The
+engine wraps each campaign phase in :meth:`PhaseProfiler.phase` when
+``repro campaign --profile PREFIX`` is given, writing one standard
+``.pstats`` artifact per phase::
+
+    repro campaign ... --profile prof/run
+    python -m pstats prof/run.experiments.pstats
+
+Profiling is heavyweight (cProfile instruments every call), so it is
+strictly opt-in and never enabled together with the overhead-sensitive
+benchmark path.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class PhaseProfiler:
+    """Profiles named phases, dumping ``<prefix>.<phase>.pstats``."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.timings: Dict[str, float] = {}
+        directory = os.path.dirname(os.path.abspath(prefix))
+        os.makedirs(directory, exist_ok=True)
+
+    def path_for(self, name: str) -> str:
+        return f"{self.prefix}.{name}.pstats"
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        profiler.enable()
+        try:
+            yield
+        finally:
+            profiler.disable()
+            self.timings[name] = (self.timings.get(name, 0.0)
+                                  + time.perf_counter() - start)
+            profiler.dump_stats(self.path_for(name))
+
+
+@contextmanager
+def maybe_profile(profiler: Optional[PhaseProfiler],
+                  name: str) -> Iterator[None]:
+    """Wrap a region in a profiler phase, or do nothing when disabled."""
+    if profiler is None:
+        yield
+    else:
+        with profiler.phase(name):
+            yield

@@ -1,0 +1,175 @@
+"""Trace summarisation: ``repro obs summarize out.json``.
+
+Turns a raw span stream back into the tables the paper reasons with:
+
+* an **engine phase** table (setup / golden / experiments / aggregate)
+  whose rows partition the parent process's campaign wall-clock — with
+  ``--workers 4`` these still sum to the wall time, because they are
+  measured in the parent;
+* an **experiment phase** table (reconfigure / run / readback /
+  classify) in *worker-seconds* of self time — with N workers this sums
+  to roughly N× the experiments phase;
+* a **per-mechanism** table totalling ``reconfigure`` spans by the
+  Table 1 mechanism that produced them (ff-lsr, lut-rewrite, ...).
+
+Self time is computed from the explicit parent links the tracer records
+(span ids are scoped per ``tid``/process, so the key is ``(tid, id)``),
+not from timestamp containment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .tracing import PARENT_TID
+
+#: Engine phases in execution order (children of the ``campaign`` span).
+ENGINE_PHASES = ("setup", "golden", "experiments", "aggregate")
+
+#: Experiment phases in execution order (children of ``experiment``).
+EXPERIMENT_PHASES = ("reconfigure", "run", "readback", "classify")
+
+
+def _span_key(event: Dict) -> Optional[tuple]:
+    span_id = event.get("args", {}).get("id")
+    if span_id is None:
+        return None
+    return (event.get("tid"), span_id)
+
+
+def summarize_trace(events: List[Dict]) -> Dict:
+    """Aggregate a trace event list into per-phase/per-mechanism totals.
+
+    All times are reported in seconds.  Only complete (``"ph": "X"``)
+    events contribute; instants and foreign events are ignored.
+    """
+    spans = [event for event in events if event.get("ph") == "X"]
+
+    # Self time: a span's duration minus its direct children's.
+    children_dur: Dict[tuple, float] = {}
+    for event in spans:
+        parent = event.get("args", {}).get("parent")
+        if parent is not None:
+            key = (event.get("tid"), parent)
+            children_dur[key] = (children_dur.get(key, 0.0)
+                                 + event.get("dur", 0.0))
+
+    def self_us(event: Dict) -> float:
+        key = _span_key(event)
+        child = children_dur.get(key, 0.0) if key else 0.0
+        return max(0.0, event.get("dur", 0.0) - child)
+
+    wall_us = 0.0
+    engine: Dict[str, Dict] = {}
+    phases: Dict[str, Dict] = {}
+    mechanisms: Dict[str, Dict] = {}
+    experiments = {"count": 0, "total_s": 0.0}
+    workers = set()
+
+    for event in spans:
+        name = event.get("name")
+        dur_us = event.get("dur", 0.0)
+        tid = event.get("tid")
+        if tid not in (None, PARENT_TID):
+            workers.add(tid)
+        if name == "campaign":
+            wall_us += dur_us
+        elif name in ENGINE_PHASES and tid == PARENT_TID:
+            row = engine.setdefault(name, {"total_s": 0.0, "count": 0})
+            row["total_s"] += dur_us / 1e6
+            row["count"] += 1
+        elif name == "experiment":
+            experiments["count"] += 1
+            experiments["total_s"] += dur_us / 1e6
+        if name in EXPERIMENT_PHASES:
+            row = phases.setdefault(name, {"self_s": 0.0, "total_s": 0.0,
+                                           "count": 0})
+            row["self_s"] += self_us(event) / 1e6
+            row["total_s"] += dur_us / 1e6
+            row["count"] += 1
+            if name == "reconfigure":
+                label = event.get("args", {}).get("mechanism", "?")
+                mech = mechanisms.setdefault(
+                    label, {"total_s": 0.0, "count": 0})
+                mech["total_s"] += dur_us / 1e6
+                mech["count"] += 1
+
+    wall_s = wall_us / 1e6
+    phase_sum = sum(row["total_s"] for row in engine.values())
+    return {
+        "wall_s": wall_s,
+        "engine_phases": engine,
+        "phase_coverage": (phase_sum / wall_s) if wall_s > 0 else 0.0,
+        "experiment_phases": phases,
+        "mechanisms": mechanisms,
+        "experiments": experiments,
+        "workers": len(workers),
+        "events": len(spans),
+    }
+
+
+def _fmt_s(seconds: float) -> str:
+    return f"{seconds:10.3f}"
+
+
+def render_summary(summary: Dict) -> str:
+    """Human-readable table for ``repro obs summarize``."""
+    lines: List[str] = []
+    wall = summary["wall_s"]
+    lines.append(f"campaign wall-clock   {wall:.3f} s   "
+                 f"({summary['events']} spans, "
+                 f"{summary['workers']} worker streams)")
+    lines.append("")
+
+    engine = summary["engine_phases"]
+    if engine:
+        lines.append("engine phase      total (s)    share")
+        lines.append("-" * 38)
+        ordered = [name for name in ENGINE_PHASES if name in engine]
+        ordered += sorted(set(engine) - set(ENGINE_PHASES))
+        for name in ordered:
+            row = engine[name]
+            share = row["total_s"] / wall if wall > 0 else 0.0
+            lines.append(f"{name:<14s} {_fmt_s(row['total_s'])}   "
+                         f"{share:6.1%}")
+        covered = sum(engine[name]["total_s"] for name in engine)
+        share = covered / wall if wall > 0 else 0.0
+        lines.append(f"{'(covered)':<14s} {_fmt_s(covered)}   "
+                     f"{share:6.1%}")
+        lines.append("")
+
+    phases = summary["experiment_phases"]
+    if phases:
+        lines.append("experiment phase  self (s)     count   "
+                     "mean (ms)   [worker-seconds]")
+        lines.append("-" * 62)
+        ordered = [name for name in EXPERIMENT_PHASES if name in phases]
+        ordered += sorted(set(phases) - set(EXPERIMENT_PHASES))
+        for name in ordered:
+            row = phases[name]
+            mean_ms = (row["total_s"] / row["count"] * 1e3
+                       if row["count"] else 0.0)
+            lines.append(f"{name:<14s} {_fmt_s(row['self_s'])}   "
+                         f"{row['count']:7d}   {mean_ms:9.3f}")
+        lines.append("")
+
+    mechanisms = summary["mechanisms"]
+    if mechanisms:
+        lines.append("mechanism (Table 1)   reconfig (s)    count   "
+                     "mean (ms)")
+        lines.append("-" * 56)
+        for label in sorted(mechanisms):
+            row = mechanisms[label]
+            mean_ms = (row["total_s"] / row["count"] * 1e3
+                       if row["count"] else 0.0)
+            lines.append(f"{label:<20s} {_fmt_s(row['total_s'])}     "
+                         f"{row['count']:7d}   {mean_ms:9.3f}")
+        lines.append("")
+
+    experiments = summary["experiments"]
+    if experiments["count"]:
+        mean_ms = experiments["total_s"] / experiments["count"] * 1e3
+        lines.append(f"experiments: {experiments['count']} spans, "
+                     f"{experiments['total_s']:.3f} worker-seconds, "
+                     f"mean {mean_ms:.3f} ms")
+    return "\n".join(lines)

@@ -21,12 +21,14 @@ sharded campaign tallies exactly like an uninterrupted serial one.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..core import generate_faultload, pool_size
 from ..core.campaign import CampaignResult
 from ..core.faults import Fault
-from ..errors import JournalError
+from ..errors import JournalError, ObservabilityError
+from ..obs.profile import PhaseProfiler, maybe_profile
+from ..obs.tracing import PARENT_TID, TRACER, TraceWriter, span
 from .jobspec import (CampaignJobSpec, JobRunner, build_campaign,
                       result_from_record)
 from .journal import JournalWriter, check_compatible, read_journal
@@ -39,11 +41,53 @@ def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
                  progress: Optional[ProgressCallback] = None,
                  progress_interval: int = 1,
                  shard_size: Optional[int] = None,
-                 max_retries: int = 2) -> CampaignResult:
-    """Execute one experiment class; see the module docstring."""
+                 max_retries: int = 2,
+                 trace: Union[None, bool, str] = None,
+                 profile: Optional[str] = None) -> CampaignResult:
+    """Execute one experiment class; see the module docstring.
+
+    ``trace`` opts into span tracing: a path writes a fresh
+    Chrome/Perfetto trace file there; ``True`` appends to the journal's
+    ``.trace`` sidecar (requires ``journal``), which is how worker span
+    streams survive crashes and extend across resumes.  ``profile`` is
+    a path prefix for per-phase cProfile ``.pstats`` artifacts.
+    """
+    trace_writer: Optional[TraceWriter] = None
+    if trace:
+        if trace is True:
+            if journal is None:
+                raise ObservabilityError(
+                    "sidecar tracing (trace=True) needs a journal path")
+            path, append = journal + ".trace", True
+        else:
+            path, append = str(trace), False
+        TRACER.reset(enabled=True, tid=PARENT_TID)
+        trace_writer = TraceWriter(path, append=append)
+    profiler = PhaseProfiler(profile) if profile else None
+    try:
+        with span("campaign", label=jobspec.display_label(),
+                  workers=workers):
+            return _execute(jobspec, workers, journal, progress,
+                            progress_interval, shard_size, max_retries,
+                            trace_writer, profiler)
+    finally:
+        if trace_writer is not None:
+            # Parent spans (campaign root + engine phases) land last;
+            # worker spans were streamed shard by shard as they arrived.
+            trace_writer.write(TRACER.drain())
+            trace_writer.close()
+            TRACER.disable()
+
+
+def _execute(jobspec: CampaignJobSpec, workers: int,
+             journal: Optional[str],
+             progress: Optional[ProgressCallback],
+             progress_interval: int, shard_size: Optional[int],
+             max_retries: int, trace_writer: Optional[TraceWriter],
+             profiler: Optional[PhaseProfiler]) -> CampaignResult:
     metrics = CampaignMetrics(progress=progress,
                               progress_interval=progress_interval)
-    with metrics.phase("setup"):
+    with metrics.phase("setup"), maybe_profile(profiler, "setup"):
         campaign = build_campaign(jobspec)
         faults: List[Fault] = generate_faultload(
             jobspec.spec, campaign.locmap,
@@ -63,7 +107,7 @@ def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
     pending = [index for index in range(len(faults))
                if index not in records]
 
-    with metrics.phase("golden"):
+    with metrics.phase("golden"), maybe_profile(profiler, "golden"):
         golden = campaign.golden_run(jobspec.spec.workload_cycles)
 
     def take(batch: List[Dict]) -> None:
@@ -74,7 +118,8 @@ def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
             metrics.record(record)
 
     try:
-        with metrics.phase("experiments"):
+        with metrics.phase("experiments"), \
+                maybe_profile(profiler, "experiments"):
             if workers <= 0:
                 runner = JobRunner(jobspec, campaign=campaign,
                                    faults=faults, pool=pool)
@@ -83,11 +128,17 @@ def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
             elif pending:
                 worker_pool = WorkerPool(
                     jobspec, workers=workers, max_retries=max_retries,
-                    on_retry=lambda _shard: metrics.add_retry())
+                    on_retry=lambda _shard: metrics.add_retry(),
+                    trace=trace_writer is not None)
+                on_spans = (None if trace_writer is None else
+                            lambda _worker_id, spans:
+                            trace_writer.write(spans))
                 worker_pool.run(plan_shards(pending, workers, shard_size),
-                                lambda _shard, batch: take(batch))
+                                lambda _shard, batch: take(batch),
+                                on_spans=on_spans)
 
-        with metrics.phase("aggregate"):
+        with metrics.phase("aggregate"), \
+                maybe_profile(profiler, "aggregate"):
             result = _assemble(jobspec, golden, faults, records)
         if writer is not None:
             writer.append_summary(result.counts(),
@@ -103,7 +154,9 @@ def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
 def resume_campaign(journal: str, workers: int = 0,
                     progress: Optional[ProgressCallback] = None,
                     progress_interval: int = 1,
-                    max_retries: int = 2) -> CampaignResult:
+                    max_retries: int = 2,
+                    trace: Union[None, bool, str] = None,
+                    profile: Optional[str] = None) -> CampaignResult:
     """Finish a journaled campaign from its journal alone.
 
     Already-journaled fault indices are skipped; the remaining ones run
@@ -116,7 +169,8 @@ def resume_campaign(journal: str, workers: int = 0,
     return run_campaign(state.jobspec, workers=workers, journal=journal,
                         progress=progress,
                         progress_interval=progress_interval,
-                        max_retries=max_retries)
+                        max_retries=max_retries, trace=trace,
+                        profile=profile)
 
 
 def _assemble(jobspec: CampaignJobSpec, golden, faults: List[Fault],

@@ -188,7 +188,8 @@ class JobRunner:
         self.campaign.injector.rng.seed(
             derive_fault_seed(self.jobspec.seed, index))
         result = self.campaign.run_experiment(
-            fault, self.jobspec.spec.workload_cycles, pool=self.pool)
+            fault, self.jobspec.spec.workload_cycles, pool=self.pool,
+            index=index)
         return record_from_result(index, result)
 
     def run_indices(self, indices: Sequence[int]) -> List[Dict]:

@@ -21,7 +21,19 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, Optional
 
+from ..obs import metrics as obs_metrics
+from ..obs.tracing import span
+
 ProgressCallback = Callable[["MetricsSnapshot"], None]
+
+_PHASE_SECONDS = obs_metrics.histogram(
+    "campaign_phase_seconds",
+    "Host wall-clock spent per engine phase.",
+    buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0))
+_RECORDS = obs_metrics.counter(
+    "campaign_records_total", "Journal records accounted, by outcome.")
+_RETRIES = obs_metrics.counter(
+    "campaign_retries_total", "Shard retries after worker failures.")
 
 
 @dataclass(frozen=True)
@@ -48,11 +60,17 @@ class MetricsSnapshot:
         return self.completed / self.wall_s
 
     @property
-    def eta_s(self) -> float:
-        """Projected host seconds until the campaign drains."""
+    def eta_s(self) -> Optional[float]:
+        """Projected host seconds until the campaign drains.
+
+        ``None`` when nothing has completed yet (zero throughput gives
+        no basis for a projection); ``0.0`` once nothing is pending.
+        """
+        if self.pending <= 0:
+            return 0.0
         rate = self.throughput
         if rate <= 0.0:
-            return float("inf")
+            return None
         return self.pending / rate
 
     def render(self) -> str:
@@ -66,8 +84,8 @@ class MetricsSnapshot:
             line += f" | retries {self.retries}"
         if self.pending:
             eta = self.eta_s
-            if eta != float("inf"):
-                line += f" | eta {eta:.1f} s"
+            line += (" | eta --:--" if eta is None
+                     else f" | eta {eta:.1f} s")
         return line
 
 
@@ -100,18 +118,26 @@ class CampaignMetrics:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Accumulate wall-clock under a named phase (re-enterable)."""
+        """Accumulate wall-clock under a named phase (re-enterable).
+
+        Each phase is also an observability event: a trace span (so
+        engine phases appear in ``--trace`` output and partition the
+        campaign wall-clock) and a ``campaign_phase_seconds`` sample.
+        """
         begin = self._clock()
-        try:
-            yield
-        finally:
-            elapsed = self._clock() - begin
-            self._phase_wall[name] = self._phase_wall.get(name, 0.0) \
-                + elapsed
+        with span(name, scope="engine"):
+            try:
+                yield
+            finally:
+                elapsed = self._clock() - begin
+                self._phase_wall[name] = self._phase_wall.get(name, 0.0) \
+                    + elapsed
+                _PHASE_SECONDS.observe(elapsed, phase=name)
 
     def record(self, record: Dict) -> None:
         """Account one finished experiment (journal-record form)."""
         self.completed += 1
+        _RECORDS.inc(outcome=record.get("outcome", "?"))
         cost = record.get("cost") or {}
         self.emulated_s += (cost.get("locate_s", 0.0)
                             + cost.get("transfer_s", 0.0)
@@ -125,6 +151,7 @@ class CampaignMetrics:
 
     def add_retry(self, count: int = 1) -> None:
         self.retries += count
+        _RETRIES.inc(count)
 
     # -- reporting -----------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:

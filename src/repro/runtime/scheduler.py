@@ -7,14 +7,24 @@ points:
 * **No shared simulator state.**  Workers receive only the picklable
   :class:`~repro.runtime.jobspec.CampaignJobSpec` and rebuild their own
   campaign; shards carry bare fault indices.
-* **Parent-side assignment.**  Each worker has a private job queue and
-  holds at most one shard at a time, so when a worker dies the parent
-  knows *exactly* which shard was in flight — no claim/ack protocol, no
-  lost-message races.
+* **Parent-side assignment.**  Each worker holds at most one shard at a
+  time, so when a worker dies the parent knows *exactly* which shard was
+  in flight — no claim/ack protocol, no lost-message races.
+* **One pipe per worker, no shared locks.**  Parent and worker talk
+  over a private duplex :func:`multiprocessing.Pipe`.  A shared result
+  ``Queue`` would serialise every worker's messages through one
+  cross-process write lock held by a background feeder thread — a
+  worker killed mid-send would leave that lock acquired forever and
+  deadlock the survivors.  With a pipe, messages are sent synchronously
+  from the worker's main thread: a crash inside experiment code can
+  never interrupt a send, and a poisoned channel can only ever be the
+  dead worker's own.
 * **Retry on worker crash.**  A shard whose worker died (or raised) goes
   back to the front of the backlog and a replacement worker is spawned;
   a shard that fails more than ``max_retries`` times aborts the campaign
-  with :class:`~repro.errors.SchedulerError`.
+  with :class:`~repro.errors.SchedulerError`.  Before the dead worker is
+  discarded, any complete result messages still sitting in its pipe are
+  dispatched so finished shards are not re-run.
 
 Shards are deliberately small (see :func:`plan_shards`): results stream
 back to the journal at shard granularity, so smaller shards mean finer
@@ -25,21 +35,26 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import queue as queue_module
 import traceback
+from multiprocessing import connection as mp_connection
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SchedulerError
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import TRACER
 from .jobspec import CampaignJobSpec, JobRunner
+
+#: Callback fed each worker's drained span batch: (worker_id, events).
+SpanCallback = Callable[[int, List[Dict]], None]
 
 #: Upper bound on shard size: keeps the journal hot even on huge
 #: campaigns (a crash loses at most this many in-flight experiments
 #: per worker).
 MAX_SHARD_SIZE = 16
 
-#: How long the event loop blocks on the result queue before checking
+#: How long the event loop blocks on the worker pipes before checking
 #: worker liveness.
 _POLL_SECONDS = 0.1
 
@@ -84,55 +99,72 @@ def _mp_context():
     return multiprocessing.get_context()
 
 
-def _worker_main(worker_id: int, jobspec: CampaignJobSpec,
-                 job_queue, result_queue) -> None:
+def _worker_main(worker_id: int, jobspec: CampaignJobSpec, conn,
+                 trace: bool = False) -> None:
     """Worker process body: build one campaign, then drain shards."""
     parent = os.getppid()
+    # Under fork the child inherits the parent's tracer events and
+    # registry values; drop both so nothing is double-reported, and give
+    # this process its own span-stream id (tid 0 is the parent's).
+    TRACER.reset(enabled=trace, tid=worker_id + 1)
+    REGISTRY.reset()
     try:
         runner = JobRunner(jobspec)
     except BaseException:
-        result_queue.put(("fatal", worker_id, traceback.format_exc()))
+        conn.send(("fatal", worker_id, traceback.format_exc()))
         return
-    result_queue.put(("ready", worker_id))
+    conn.send(("ready", worker_id))
     while True:
-        try:
-            shard = job_queue.get(timeout=_ORPHAN_POLL_SECONDS)
-        except queue_module.Empty:
+        while not conn.poll(_ORPHAN_POLL_SECONDS):
             # Reparented (original parent died without cleanup): exit
-            # rather than wait forever on a queue no one will feed.
+            # rather than wait forever on a pipe no one will feed.
             if os.getppid() != parent:
                 return
-            continue
+        try:
+            shard = conn.recv()
+        except (EOFError, OSError):
+            return
         if shard is None:
             return
         try:
             records = runner.run_indices(shard.indices)
         except BaseException:
-            result_queue.put(("error", worker_id, shard.shard_id,
-                              traceback.format_exc()))
+            # Observability state of the failed shard is discarded: the
+            # shard will re-run in full, so shipping partial spans or
+            # counts would double-report after the retry.
+            TRACER.reset(enabled=trace, tid=worker_id + 1)
+            REGISTRY.reset()
+            conn.send(("error", worker_id, shard.shard_id,
+                       traceback.format_exc()))
         else:
-            result_queue.put(("result", worker_id, shard.shard_id,
-                              records))
+            spans = TRACER.drain() if trace else []
+            metrics_state = REGISTRY.to_state()
+            REGISTRY.reset()
+            conn.send(("result", worker_id, shard.shard_id,
+                       records, spans, metrics_state))
 
 
 class _Worker:
-    """Parent-side handle: process + its private job queue."""
+    """Parent-side handle: process + its private message pipe."""
 
     def __init__(self, ctx, worker_id: int, jobspec: CampaignJobSpec,
-                 result_queue):
+                 trace: bool = False):
         self.worker_id = worker_id
-        self.job_queue = ctx.Queue()
+        self.conn, child_conn = ctx.Pipe(duplex=True)
         self.shard: Optional[Shard] = None
         self.ready = False
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker_id, jobspec, self.job_queue, result_queue),
+            args=(worker_id, jobspec, child_conn, trace),
             daemon=True)
         self.process.start()
+        # The parent must not hold the child's end open, or it would
+        # never see EOF after the child exits.
+        child_conn.close()
 
     def assign(self, shard: Shard) -> None:
         self.shard = shard
-        self.job_queue.put(shard)
+        self._send(shard)
 
     def release(self) -> Optional[Shard]:
         shard, self.shard = self.shard, None
@@ -140,13 +172,21 @@ class _Worker:
 
     def stop(self) -> None:
         if self.process.is_alive():
-            self.job_queue.put(None)
+            self._send(None)
+
+    def _send(self, obj) -> None:
+        try:
+            self.conn.send(obj)
+        except (OSError, ValueError):
+            # Worker died; liveness checking requeues its shard.
+            pass
 
     def reap(self, timeout: float = 2.0) -> None:
         self.process.join(timeout)
         if self.process.is_alive():
             self.process.terminate()
             self.process.join(timeout)
+        self.conn.close()
 
 
 class WorkerPool:
@@ -154,23 +194,30 @@ class WorkerPool:
 
     def __init__(self, jobspec: CampaignJobSpec, workers: int,
                  max_retries: int = 2,
-                 on_retry: Optional[Callable[[Shard], None]] = None):
+                 on_retry: Optional[Callable[[Shard], None]] = None,
+                 trace: bool = False):
         if workers < 1:
             raise SchedulerError("worker pool needs at least one worker")
         self.jobspec = jobspec
         self.workers = workers
         self.max_retries = max_retries
         self.on_retry = on_retry
+        self.trace = trace
         self.retries = 0
 
     def run(self, shards: Sequence[Shard],
-            on_records: Callable[[Shard, List[Dict]], None]) -> None:
+            on_records: Callable[[Shard, List[Dict]], None],
+            on_spans: Optional[SpanCallback] = None) -> None:
         """Execute every shard, streaming record batches to
-        ``on_records`` as workers finish them (arrival order)."""
+        ``on_records`` as workers finish them (arrival order).
+
+        Worker observability ships with each result: span batches go to
+        ``on_spans`` (when tracing), metrics snapshots merge into this
+        process's registry.
+        """
         if not shards:
             return
         ctx = _mp_context()
-        result_queue = ctx.Queue()
         backlog = deque(shards)
         by_id = {shard.shard_id: shard for shard in shards}
         attempts: Dict[int, int] = {}
@@ -181,7 +228,7 @@ class WorkerPool:
         def spawn() -> None:
             nonlocal next_worker_id
             worker = _Worker(ctx, next_worker_id, self.jobspec,
-                             result_queue)
+                             trace=self.trace)
             pool[next_worker_id] = worker
             next_worker_id += 1
 
@@ -205,10 +252,11 @@ class WorkerPool:
             for _ in range(min(self.workers, len(shards))):
                 spawn()
             while outstanding:
-                self._drain(result_queue, pool, outstanding, by_id,
-                            on_records, feed, requeue)
-                self._check_liveness(pool, outstanding, backlog,
-                                     requeue, spawn, feed)
+                self._drain(pool, outstanding, by_id,
+                            on_records, on_spans, feed, requeue)
+                self._check_liveness(pool, outstanding, by_id, backlog,
+                                     on_records, on_spans, requeue,
+                                     spawn, feed)
         finally:
             for worker in pool.values():
                 worker.stop()
@@ -216,53 +264,83 @@ class WorkerPool:
                 worker.reap()
 
     # -- event loop pieces ---------------------------------------------
-    def _drain(self, result_queue, pool, outstanding, by_id, on_records,
-               feed, requeue) -> None:
-        """Handle every queued message (blocking briefly for the first)."""
-        try:
-            message = result_queue.get(timeout=_POLL_SECONDS)
-        except queue_module.Empty:
-            return
-        while True:
-            kind, worker_id = message[0], message[1]
-            worker = pool.get(worker_id)
-            if kind == "ready" and worker is not None:
-                worker.ready = True
-                feed(worker)
-            elif kind == "result":
-                shard_id, records = message[2], message[3]
-                if worker is not None:
-                    worker.release()
-                if shard_id in outstanding:
-                    outstanding.discard(shard_id)
-                    on_records(by_id[shard_id], records)
-                if worker is not None:
-                    if outstanding:
-                        feed(worker)
-                    else:
-                        worker.stop()
-            elif kind == "error":
-                shard_id, reason = message[2], message[3]
-                if worker is not None:
-                    worker.release()
-                if shard_id in outstanding:
-                    requeue(by_id[shard_id], reason)
-                if worker is not None:
-                    feed(worker)
-            elif kind == "fatal":
-                raise SchedulerError(
-                    f"worker {worker_id} failed to start:\n{message[2]}")
-            try:
-                message = result_queue.get_nowait()
-            except queue_module.Empty:
-                return
+    def _dispatch(self, message, worker, outstanding, by_id, on_records,
+                  on_spans, feed, requeue, alive: bool = True) -> None:
+        """Apply one worker message to the pool state.
 
-    def _check_liveness(self, pool, outstanding, backlog, requeue,
-                        spawn, feed) -> None:
+        ``alive=False`` is the post-mortem drain of a dead worker's
+        pipe: results still count, but the worker gets no further work.
+        """
+        kind = message[0]
+        if kind == "ready":
+            worker.ready = True
+            if alive:
+                feed(worker)
+        elif kind == "result":
+            shard_id, records = message[2], message[3]
+            spans, metrics_state = message[4], message[5]
+            worker.release()
+            if shard_id in outstanding:
+                outstanding.discard(shard_id)
+                if spans and on_spans is not None:
+                    on_spans(worker.worker_id, spans)
+                if metrics_state is not None:
+                    REGISTRY.merge_state(metrics_state)
+                on_records(by_id[shard_id], records)
+            if alive:
+                if outstanding:
+                    feed(worker)
+                else:
+                    worker.stop()
+        elif kind == "error":
+            shard_id, reason = message[2], message[3]
+            worker.release()
+            if shard_id in outstanding:
+                requeue(by_id[shard_id], reason)
+            if alive:
+                feed(worker)
+        elif kind == "fatal":
+            raise SchedulerError(
+                f"worker {worker.worker_id} failed to start:\n"
+                f"{message[2]}")
+
+    def _pending_messages(self, conn):
+        """Yield complete messages waiting on a worker pipe."""
+        while True:
+            try:
+                if not conn.poll(0):
+                    return
+                yield conn.recv()
+            except (EOFError, OSError):
+                return  # dead worker: liveness requeues its shard
+
+    def _drain(self, pool, outstanding, by_id, on_records, on_spans,
+               feed, requeue) -> None:
+        """Handle every pending worker message (blocking briefly)."""
+        conns = {worker.conn: worker for worker in pool.values()}
+        if not conns:
+            return
+        for conn in mp_connection.wait(list(conns),
+                                       timeout=_POLL_SECONDS):
+            for message in self._pending_messages(conn):
+                self._dispatch(message, conns[conn], outstanding, by_id,
+                               on_records, on_spans, feed, requeue)
+
+    def _check_liveness(self, pool, outstanding, by_id, backlog,
+                        on_records, on_spans, requeue, spawn,
+                        feed) -> None:
         """Requeue shards of dead workers; keep the pool staffed."""
         for worker_id in [wid for wid, worker in pool.items()
                           if not worker.process.is_alive()]:
             worker = pool.pop(worker_id)
+            # Dispatch any complete messages the worker shipped before
+            # dying, so its finished shards are not re-run.  Sends are
+            # synchronous in the worker, so a crash in experiment code
+            # cannot leave a torn message behind.
+            for message in self._pending_messages(worker.conn):
+                self._dispatch(message, worker, outstanding, by_id,
+                               on_records, on_spans, feed, requeue,
+                               alive=False)
             shard = worker.release()
             if shard is not None and shard.shard_id in outstanding:
                 requeue(shard, f"worker {worker_id} died "

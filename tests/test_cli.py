@@ -95,9 +95,11 @@ class TestCommands:
         assert "n=4" in out
         code = main(["resume", journal])
         assert code == 0
-        out = capsys.readouterr().out
-        assert "4 journaled, 0 pending" in out
-        assert "failure" in out
+        captured = capsys.readouterr()
+        # The resume banner is diagnostic: it logs to stderr, keeping
+        # stdout to the result tally alone.
+        assert "4 journaled, 0 pending" in captured.err
+        assert "failure" in captured.out
 
     def test_campaign_workers_rejects_vfit(self, capsys):
         code = main(["--values", "7,2,5", "campaign", "--tool", "vfit",

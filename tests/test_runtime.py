@@ -265,7 +265,16 @@ class TestMetrics:
         metrics = CampaignMetrics(clock=lambda: 0.0)
         snapshot = metrics.snapshot()
         assert snapshot.throughput == 0.0
-        assert snapshot.eta_s == float("inf")
+        # Nothing pending: the campaign is (vacuously) drained.
+        assert snapshot.eta_s == 0.0
+
+    def test_eta_is_none_before_first_record(self):
+        metrics = CampaignMetrics(clock=lambda: 0.0)
+        metrics.set_total(10)
+        snapshot = metrics.snapshot()
+        assert snapshot.pending == 10
+        assert snapshot.eta_s is None
+        assert "eta --:--" in snapshot.render()
 
 
 class TestGoldenCache:
