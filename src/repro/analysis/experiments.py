@@ -57,6 +57,10 @@ class Evaluation:
     #: With ``workers >= 2``, :meth:`run_fades` fans each experiment
     #: class out across the :mod:`repro.runtime` worker pool.
     workers: int = 0
+    #: Simulator backend for FADES campaigns: ``reference`` steps the
+    #: device model per experiment; ``compiled`` packs experiments into
+    #: the bit-parallel :mod:`repro.emu` engine (same classification).
+    backend: str = "reference"
     _workload: Optional[Workload] = None
     _model: Optional[Mc8051Model] = None
     _cycles: int = 0
@@ -90,7 +94,8 @@ class Evaluation:
         if self._fades is None:
             self._fades = build_fades(
                 self.model.netlist, seed=self.seed,
-                checkpoint_interval=CHECKPOINT_INTERVAL)
+                checkpoint_interval=CHECKPOINT_INTERVAL,
+                backend=self.backend)
         return self._fades
 
     @property

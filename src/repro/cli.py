@@ -82,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="re-randomise indeterminations every cycle")
     campaign.add_argument("--mechanism", default="",
                           help="pin a mechanism (lsr/gsr, fanout/reroute)")
+    campaign.add_argument("--backend", choices=("reference", "compiled"),
+                          default="reference",
+                          help="simulator backend: reference device "
+                               "stepping or the bit-parallel compiled "
+                               "engine (repro.emu)")
     campaign.add_argument("--workers", type=int, default=0,
                           help="parallel worker processes "
                                "(0 = in-process serial)")
@@ -134,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--workers", type=int, default=0,
                         help="fan experiment classes out across worker "
                              "processes")
+    report.add_argument("--backend", choices=("reference", "compiled"),
+                        default="reference",
+                        help="simulator backend for the FADES campaigns")
 
     run_spec = commands.add_parser(
         "run-spec", help="execute a JSON campaign specification file")
@@ -191,6 +199,7 @@ def _render_result(heading: str, result) -> None:
 
 
 def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
+    evaluation.backend = args.backend
     model = FaultModel(args.model)
     spec = evaluation.spec(model, args.pool, band=args.band,
                            count=args.count, oscillate=args.oscillate,
@@ -296,6 +305,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_seu(evaluation, args)
         if args.command == "report":
             evaluation.workers = args.workers
+            evaluation.backend = args.backend
             console(full_report(evaluation, count=args.count))
             return 0
         if args.command == "run-spec":

@@ -50,13 +50,16 @@ def build_fades(netlist: Netlist, arch: Optional[Architecture] = None,
                 seed: int = 0,
                 full_download_delays: bool = True,
                 inputs: Optional[dict] = None,
-                checkpoint_interval: int = 0) -> FadesCampaign:
+                checkpoint_interval: int = 0,
+                backend: str = "reference") -> FadesCampaign:
     """Synthesise, implement and wrap a design into a FADES campaign.
 
     ``inputs`` holds constant primary-input values for the whole run
     (self-contained workloads like the 8051 need none);
     ``checkpoint_interval`` enables golden-run snapshots every N cycles so
-    experiments fast-forward over their fault-free prefix.
+    experiments fast-forward over their fault-free prefix; ``backend``
+    selects the workload simulator (``reference`` or the bit-parallel
+    ``compiled`` engine of :mod:`repro.emu`).
     """
     result = synthesize(netlist)
     impl = implement(result.mapped, arch=arch)
@@ -64,7 +67,8 @@ def build_fades(netlist: Netlist, arch: Optional[Architecture] = None,
     return FadesCampaign(impl, result.locmap, board=board, seed=seed,
                          full_download_delays=full_download_delays,
                          inputs=inputs,
-                         checkpoint_interval=checkpoint_interval)
+                         checkpoint_interval=checkpoint_interval,
+                         backend=backend)
 
 
 __all__ = [

@@ -19,12 +19,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..fpga.board import Board
 from ..fpga.device import Device
 from ..fpga.implement import Implementation
 from ..fpga.jbits import JBits
+from ..hdl.simulator import check_backend
 from ..hdl.trace import Trace
 from ..obs import metrics as obs_metrics
 from ..obs.tracing import span
@@ -83,10 +84,15 @@ class FadesCampaign:
                  timing_params: FadesTimingParams = FadesTimingParams(),
                  full_download_delays: bool = True,
                  inputs: Optional[Dict[str, int]] = None,
-                 checkpoint_interval: int = 0):
+                 checkpoint_interval: int = 0,
+                 backend: str = "reference"):
         self.impl = impl
         self.locmap = locmap
         self.inputs = dict(inputs or {})
+        #: Simulator backend: ``reference`` runs each experiment through
+        #: the device simulator; ``compiled`` packs experiments into the
+        #: bit-lanes of the :mod:`repro.emu` engine (golden in lane 0).
+        self.backend = check_backend(backend)
         #: Fast-forward optimisation: with a positive interval, the golden
         #: run stores device snapshots every N cycles and experiments
         #: restore the nearest one at or before the injection instant
@@ -103,6 +109,7 @@ class FadesCampaign:
         self.injector = FadesInjector(
             self.jbits, rng=random.Random(seed ^ 0xFADE5),
             full_download_delays=full_download_delays)
+        self.injector.backend_label = self.backend
         self.time_model = EmulationTimeModel(self.board, timing_params)
         self._golden: Dict[tuple, Trace] = {}
         #: How many golden runs were actually *simulated* (as opposed to
@@ -112,10 +119,12 @@ class FadesCampaign:
     # ------------------------------------------------------------------
     def _golden_key(self, cycles: int) -> tuple:
         """Cache key: the workload identity (the constant primary-input
-        assignment) plus the experiment length.  Keying by workload too
-        means mutating ``self.inputs`` between campaigns can never serve
-        a stale golden trace."""
-        return (tuple(sorted(self.inputs.items())), cycles)
+        assignment), the experiment length and the simulator backend.
+        Keying by workload means mutating ``self.inputs`` between
+        campaigns can never serve a stale golden trace; keying by backend
+        means switching ``--backend`` can never reuse the other backend's
+        golden trace."""
+        return (tuple(sorted(self.inputs.items())), cycles, self.backend)
 
     def golden_run(self, cycles: int) -> Trace:
         """Fault-free reference trace (cached per workload and length).
@@ -128,6 +137,13 @@ class FadesCampaign:
         if cached is not None:
             return cached
         device = self.device
+        if (self.backend == "compiled"
+                and not device._violating and not device._broken_nets):
+            from ..emu.backend import compiled_golden
+            trace = compiled_golden(self, cycles)
+            self.golden_simulations += 1
+            self._golden[key] = trace
+            return trace
         device.reset_system()
         trace = Trace(tuple(device.mapped.outputs))
         interval = self.checkpoint_interval
@@ -154,7 +170,7 @@ class FadesCampaign:
         the journal record they produced.
         """
         with span("experiment", index=index, model=fault.model.value,
-                  target=fault.target.kind.value):
+                  target=fault.target.kind.value, backend="reference"):
             return self._run_experiment(fault, cycles, pool)
 
     def _run_experiment(self, fault: Fault, cycles: int,
@@ -192,7 +208,8 @@ class FadesCampaign:
 
         removed = False
         injected = False
-        with span("run", cycles=cycles, first_cycle=first_cycle):
+        with span("run", cycles=cycles, first_cycle=first_cycle,
+                  backend="reference"):
             for cycle in range(first_cycle, cycles):
                 if cycle == start:
                     with span("reconfigure", mechanism=mechanism,
@@ -234,7 +251,7 @@ class FadesCampaign:
 
         golden = self.golden_run(cycles)
         cost = self.time_model.end_experiment(marker, cycles, pool)
-        with span("classify"):
+        with span("classify", backend="reference"):
             outcome = classify(golden, trace)
             first_divergence = trace.first_divergence(golden)
         _EXPERIMENTS.inc(outcome=outcome.value)
@@ -262,15 +279,38 @@ class FadesCampaign:
                                label=spec.label(),
                                pool=pool_size(spec, self.locmap))
 
+    def run_batch(self, faults: Sequence[Fault], cycles: int, pool: int = 0,
+                  indices: Optional[Sequence[int]] = None,
+                  reseed: Optional[Callable[[int], None]] = None
+                  ) -> List[ExperimentResult]:
+        """Run a fault list through the selected backend, in fault order.
+
+        ``indices`` carries each fault's campaign index (observability
+        metadata and the ``reseed`` argument); ``reseed`` is the
+        runtime's per-experiment injector re-seeding hook.  The reference
+        backend runs one experiment per fault; the compiled backend packs
+        supported faults into bit-lane batches.
+        """
+        if self.backend == "compiled":
+            from ..emu import run_lane_batch
+            return run_lane_batch(self, faults, cycles, pool=pool,
+                                  indices=indices, reseed=reseed)
+        results: List[ExperimentResult] = []
+        for position, fault in enumerate(faults):
+            index = indices[position] if indices is not None else position
+            if reseed is not None:
+                reseed(index)
+            results.append(
+                self.run_experiment(fault, cycles, pool=pool, index=index))
+        return results
+
     def run_faults(self, faults: Sequence[Fault], cycles: int,
                    label: str = "", pool: int = 0) -> CampaignResult:
         """Run a pre-generated fault list."""
         golden = self.golden_run(cycles)
         result = CampaignResult(spec_label=label, golden=golden)
         start_index = len(self.time_model.costs)
-        for index, fault in enumerate(faults):
-            result.experiments.append(
-                self.run_experiment(fault, cycles, pool=pool, index=index))
+        result.experiments = self.run_batch(faults, cycles, pool=pool)
         costs = self.time_model.costs[start_index:]
         result.total_emulation_s = sum(cost.total_s for cost in costs)
         if costs:

@@ -109,6 +109,10 @@ class FadesInjector:
         measure the partial-reconfiguration potential (ablation 2).
     """
 
+    #: Simulator backend this injector serves; the owning campaign
+    #: overwrites it so ``injections_total`` can be split by backend.
+    backend_label = "reference"
+
     def __init__(self, jbits: JBits, rng: Optional[random.Random] = None,
                  full_download_delays: bool = True):
         self.jbits = jbits
@@ -120,7 +124,8 @@ class FadesInjector:
     def prepare(self, fault: Fault) -> Injection:
         """Build the mechanism-specific injection for *fault*."""
         _INJECTIONS.inc(model=fault.model.value,
-                        target=fault.target.kind.value)
+                        target=fault.target.kind.value,
+                        sim_backend=self.backend_label)
         model = fault.model
         if model is FaultModel.BITFLIP and fault.extra_targets:
             from .multiple import prepare_multiple

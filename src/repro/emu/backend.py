@@ -1,0 +1,253 @@
+"""Campaign adapter: translate prepared injections into lane operations.
+
+The adapter keeps the compiled backend *protocol-identical* to the
+reference backend: for every fault it still builds the real
+:class:`~repro.core.injector.Injection` and drives its ``inject`` /
+``tick`` / ``remove`` hooks against the reference device — so board
+transactions (and therefore the emulated Table 2 costs), injector RNG
+consumption, and delay-fault timing analysis are bit-identical to the
+reference path.  What it *skips* is the per-experiment workload
+execution: the injection's behavioural effect is translated into
+lane-masked operations on a :class:`~repro.emu.lanes.BatchSchedule`, and
+one lane-engine pass evaluates up to ``lane_width() - 1`` experiments
+against the golden run in lane 0.
+
+Faults whose effect cannot be expressed as lane operations
+(configuration-memory upsets, permanent models) fall back to the
+reference experiment loop, interleaved in fault order so randomiser
+streams stay aligned.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence
+
+from ..core.campaign import _EXPERIMENTS, _RECONFIG_SECONDS, ExperimentResult
+from ..core.classify import Outcome
+from ..core.faults import Fault, FaultModel, TargetKind
+from ..core.injector import invert_lut_line, stuck_lut_line
+from ..hdl.trace import Trace
+from ..obs import metrics as obs_metrics
+from ..obs.tracing import span
+from .compiler import compile_design
+from .lanes import BatchSchedule, run_lanes
+
+_LANE_FAULTS = obs_metrics.counter(
+    "emu_lane_faults_total",
+    "Faults evaluated by the compiled backend, by execution mode.")
+
+#: Default lane count.  Lane 0 is the golden run, so a batch carries
+#: ``lane_width() - 1`` fault experiments.  Lane vectors are arbitrary-
+#: precision ints sized by the *occupied* lanes of each batch, so a wide
+#: default only makes batches fuller (fewer engine passes), never wider
+#: than the faults at hand.
+DEFAULT_LANES = 256
+
+
+def lane_width() -> int:
+    """Lanes per batch; override with ``REPRO_EMU_LANES`` (minimum 2)."""
+    try:
+        width = int(os.environ.get("REPRO_EMU_LANES", DEFAULT_LANES))
+    except ValueError:
+        width = DEFAULT_LANES
+    return max(2, width)
+
+
+def supports_fault(fault: Fault) -> bool:
+    """Whether the lane engine can express this fault's effect.
+
+    Everything in the paper's Table 1 is supported.  Configuration-memory
+    upsets and the permanent extension models mutate logic or routing in
+    ways the compiled design does not model, so they take the reference
+    path.
+    """
+    model = fault.model
+    kind = fault.target.kind
+    if model is FaultModel.BITFLIP:
+        kinds = {target.kind for target in fault.all_targets}
+        return kinds in ({TargetKind.FF}, {TargetKind.MEMORY_BIT})
+    if model is FaultModel.PULSE:
+        return kind in (TargetKind.LUT, TargetKind.CB_INPUT)
+    if model is FaultModel.DELAY:
+        return kind is TargetKind.NET
+    if model is FaultModel.INDETERMINATION:
+        return kind in (TargetKind.FF, TargetKind.LUT)
+    return False
+
+
+def compiled_golden(campaign, cycles: int) -> Trace:
+    """Golden run through the lane engine (single lane, no faults)."""
+    design = compile_design(campaign.impl.mapped)
+    with span("run", cycles=cycles, lanes=1, backend="compiled"):
+        lane_result = run_lanes(design, 1, cycles, inputs=campaign.inputs)
+    trace = Trace(tuple(campaign.impl.mapped.outputs))
+    for sample in lane_result.samples:
+        trace.record(sample)
+    trace.final_state = lane_result.final_state
+    trace.cycles = cycles
+    return trace
+
+
+def _replay(campaign, fault: Fault, cycles: int, lane: int,
+            schedule: BatchSchedule, pool: int):
+    """Drive one fault's reconfiguration protocol; schedule its lane ops.
+
+    Follows ``FadesCampaign._run_experiment`` transaction for
+    transaction — same injection object, same ``reconfigure`` spans, same
+    board log, same time-model bookkeeping — with the workload stepping
+    replaced by operations on *schedule* for *lane*.
+    """
+    device = campaign.device
+    marker = campaign.time_model.begin_experiment()
+    board_marker = campaign.board.snapshot()
+    campaign.board.set_label(fault.model.value)
+
+    injection = campaign.injector.prepare(fault)
+    mechanism = (getattr(injection, "mechanism_label", "")
+                 or fault.model.value)
+    if fault.duration_cycles >= 1.0:
+        window = fault.whole_cycles
+    else:
+        window = 1 if fault.straddles_edge else 0
+    start = min(fault.start_cycle, max(0, cycles - 1))
+    active = range(start, min(start + window, cycles))
+
+    with span("reconfigure", mechanism=mechanism, op="inject"):
+        injection.inject()
+    removed = False
+    if window == 0 and fault.model.transient:
+        with span("reconfigure", mechanism=mechanism, op="remove"):
+            injection.remove()
+        removed = True
+
+    model = fault.model
+    if model is FaultModel.BITFLIP:
+        for target in fault.all_targets:
+            if target.kind is TargetKind.FF:
+                schedule.xor_ff(start, target.index, lane)
+            else:
+                schedule.flip_mem(start, target.index, target.addr,
+                                  target.bit, lane)
+    elif model is FaultModel.PULSE:
+        if fault.target.kind is TargetKind.LUT:
+            if active:
+                faulty_tt = invert_lut_line(injection.golden.tt,
+                                            fault.target.line)
+                for cycle in active:
+                    schedule.override(cycle, fault.target.index, lane,
+                                      faulty_tt)
+        else:  # CB_INPUT: the capture inverter on the FF's data path
+            for cycle in active:
+                schedule.invert_capture(cycle, fault.target.index, lane)
+    elif model is FaultModel.DELAY:
+        # The injected loads/detour are live now; the device's timing
+        # analysis says which flip-flops miss setup while they persist.
+        violating = sorted(device._violating)
+        for cycle in active:
+            for ff in violating:
+                schedule.violating_capture(cycle, ff, lane)
+    else:  # INDETERMINATION
+        if fault.target.kind is TargetKind.FF:
+            if not active:
+                # Sub-cycle, no capture edge: the asynchronous LSR force
+                # lands and is released before the next evaluation.
+                schedule.set_ff(start, fault.target.index, lane,
+                                injection.value)
+            for offset, cycle in enumerate(active):
+                injection.tick(offset)
+                schedule.set_ff(cycle, fault.target.index, lane,
+                                injection.value)
+                schedule.pin_capture(cycle, fault.target.index, lane,
+                                     injection.value)
+        else:  # LUT
+            golden_tt = injection.golden.tt if active else 0
+            for offset, cycle in enumerate(active):
+                injection.tick(offset)
+                schedule.override(
+                    cycle, fault.target.index, lane,
+                    stuck_lut_line(golden_tt, fault.target.line,
+                                   injection.value))
+    if not removed and fault.model.transient:
+        with span("reconfigure", mechanism=mechanism, op="remove"):
+            injection.remove()
+
+    _RECONFIG_SECONDS.observe(campaign.board.since(board_marker)[1],
+                              mechanism=mechanism)
+    with span("readback", mechanism=mechanism):
+        campaign._restore_configuration()
+    return campaign.time_model.end_experiment(marker, cycles, pool)
+
+
+def run_lane_batch(campaign, faults: Sequence[Fault], cycles: int,
+                   pool: int = 0,
+                   indices: Optional[Sequence[int]] = None,
+                   reseed: Optional[Callable[[int], None]] = None
+                   ) -> List[ExperimentResult]:
+    """Run a fault list through the lane engine; results in fault order.
+
+    ``indices`` carries each fault's campaign index (observability
+    metadata, and the argument handed to ``reseed``); ``reseed`` is the
+    runtime's per-experiment injector re-seeding hook.  Faults are
+    processed strictly in order — supported ones accumulate into lane
+    batches, unsupported ones run through the reference experiment loop
+    in place — so injector randomiser consumption matches the reference
+    backend exactly.
+    """
+    results: List[Optional[ExperimentResult]] = [None] * len(faults)
+    campaign.golden_run(cycles)
+    design = compile_design(campaign.impl.mapped)
+    width = lane_width()
+    # A device whose *golden* configuration already has timing violations
+    # or broken routes is outside the compiled model; run everything on
+    # the reference path.
+    guard = bool(campaign.device._violating or campaign.device._broken_nets)
+
+    batch: List = []  # (result slot, fault, replay cost)
+    schedule = BatchSchedule()
+
+    def flush() -> None:
+        nonlocal batch, schedule
+        if not batch:
+            return
+        lanes = len(batch) + 1
+        with span("run", cycles=cycles, lanes=lanes, backend="compiled"):
+            lane_result = run_lanes(design, lanes, cycles,
+                                    inputs=campaign.inputs,
+                                    schedule=schedule)
+        with span("classify", backend="compiled"):
+            for slot, (position, fault, cost) in enumerate(batch):
+                bit = 1 << (slot + 1)
+                if lane_result.fail_mask & bit:
+                    outcome = Outcome.FAILURE
+                elif lane_result.latent_mask & bit:
+                    outcome = Outcome.LATENT
+                else:
+                    outcome = Outcome.SILENT
+                _EXPERIMENTS.inc(outcome=outcome.value)
+                results[position] = ExperimentResult(
+                    fault=fault, outcome=outcome, cost=cost,
+                    first_divergence=lane_result.first_divergence.get(
+                        slot + 1))
+        batch = []
+        schedule = BatchSchedule()
+
+    for position, fault in enumerate(faults):
+        index = indices[position] if indices is not None else position
+        if reseed is not None:
+            reseed(index)
+        if guard or not supports_fault(fault):
+            _LANE_FAULTS.inc(mode="fallback")
+            results[position] = campaign.run_experiment(
+                fault, cycles, pool=pool, index=index)
+            continue
+        _LANE_FAULTS.inc(mode="packed")
+        with span("experiment", index=index, model=fault.model.value,
+                  target=fault.target.kind.value, backend="compiled"):
+            cost = _replay(campaign, fault, cycles, len(batch) + 1,
+                           schedule, pool)
+        batch.append((position, fault, cost))
+        if len(batch) >= width - 1:
+            flush()
+    flush()
+    return results  # type: ignore[return-value]

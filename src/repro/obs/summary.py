@@ -10,7 +10,10 @@ Turns a raw span stream back into the tables the paper reasons with:
   classify) in *worker-seconds* of self time — with N workers this sums
   to roughly N× the experiments phase;
 * a **per-mechanism** table totalling ``reconfigure`` spans by the
-  Table 1 mechanism that produced them (ff-lsr, lut-rewrite, ...).
+  Table 1 mechanism that produced them (ff-lsr, lut-rewrite, ...);
+* a **per-backend** table splitting ``run``/``classify``/``experiment``
+  time by the simulator backend (``reference`` vs ``compiled``) so
+  mixed-backend traces expose where each engine spent its time.
 
 Self time is computed from the explicit parent links the tracer records
 (span ids are scoped per ``tid``/process, so the key is ``(tid, id)``),
@@ -63,6 +66,7 @@ def summarize_trace(events: List[Dict]) -> Dict:
     engine: Dict[str, Dict] = {}
     phases: Dict[str, Dict] = {}
     mechanisms: Dict[str, Dict] = {}
+    backends: Dict[str, Dict] = {}
     experiments = {"count": 0, "total_s": 0.0}
     workers = set()
 
@@ -81,6 +85,12 @@ def summarize_trace(events: List[Dict]) -> Dict:
         elif name == "experiment":
             experiments["count"] += 1
             experiments["total_s"] += dur_us / 1e6
+        if name in ("run", "classify", "experiment"):
+            label = event.get("args", {}).get("backend", "reference")
+            row = backends.setdefault(label, {}).setdefault(
+                name, {"total_s": 0.0, "count": 0})
+            row["total_s"] += dur_us / 1e6
+            row["count"] += 1
         if name in EXPERIMENT_PHASES:
             row = phases.setdefault(name, {"self_s": 0.0, "total_s": 0.0,
                                            "count": 0})
@@ -102,6 +112,7 @@ def summarize_trace(events: List[Dict]) -> Dict:
         "phase_coverage": (phase_sum / wall_s) if wall_s > 0 else 0.0,
         "experiment_phases": phases,
         "mechanisms": mechanisms,
+        "backends": backends,
         "experiments": experiments,
         "workers": len(workers),
         "events": len(spans),
@@ -164,6 +175,23 @@ def render_summary(summary: Dict) -> str:
                        if row["count"] else 0.0)
             lines.append(f"{label:<20s} {_fmt_s(row['total_s'])}     "
                          f"{row['count']:7d}   {mean_ms:9.3f}")
+        lines.append("")
+
+    backends = summary.get("backends", {})
+    if len(backends) > 1 or "compiled" in backends:
+        lines.append("backend        span          total (s)    count   "
+                     "mean (ms)")
+        lines.append("-" * 58)
+        for label in sorted(backends):
+            for name in ("experiment", "run", "classify"):
+                row = backends[label].get(name)
+                if not row:
+                    continue
+                mean_ms = (row["total_s"] / row["count"] * 1e3
+                           if row["count"] else 0.0)
+                lines.append(f"{label:<12s}   {name:<10s} "
+                             f"{_fmt_s(row['total_s'])}   "
+                             f"{row['count']:7d}   {mean_ms:9.3f}")
         lines.append("")
 
     experiments = summary["experiments"]

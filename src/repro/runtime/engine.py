@@ -86,7 +86,8 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
              max_retries: int, trace_writer: Optional[TraceWriter],
              profiler: Optional[PhaseProfiler]) -> CampaignResult:
     metrics = CampaignMetrics(progress=progress,
-                              progress_interval=progress_interval)
+                              progress_interval=progress_interval,
+                              backend=jobspec.backend)
     with metrics.phase("setup"), maybe_profile(profiler, "setup"):
         campaign = build_campaign(jobspec)
         faults: List[Fault] = generate_faultload(
@@ -123,8 +124,11 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
             if workers <= 0:
                 runner = JobRunner(jobspec, campaign=campaign,
                                    faults=faults, pool=pool)
-                for index in pending:
-                    take([runner.run_index(index)])
+                # Chunk at the backend's batch size so the compiled
+                # backend fills whole lane batches (reference: size 1).
+                size = max(1, runner.batch_size())
+                for offset in range(0, len(pending), size):
+                    take(runner.run_indices(pending[offset:offset + size]))
             elif pending:
                 worker_pool = WorkerPool(
                     jobspec, workers=workers, max_retries=max_retries,

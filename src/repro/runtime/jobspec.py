@@ -63,6 +63,7 @@ class CampaignJobSpec:
     faultload_seed: Optional[int] = None
     checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL
     label: str = ""
+    backend: str = "reference"
 
     @classmethod
     def from_evaluation(cls, evaluation, spec: FaultLoadSpec,
@@ -71,7 +72,8 @@ class CampaignJobSpec:
         """Describe one experiment class of an evaluation testbed."""
         return cls(spec=spec, values=tuple(evaluation.values),
                    seed=evaluation.seed, faultload_seed=faultload_seed,
-                   label=label or spec.label())
+                   label=label or spec.label(),
+                   backend=getattr(evaluation, "backend", "reference"))
 
     def effective_faultload_seed(self) -> int:
         return self.seed if self.faultload_seed is None else \
@@ -104,6 +106,7 @@ class CampaignJobSpec:
             "faultload_seed": self.faultload_seed,
             "checkpoint_interval": self.checkpoint_interval,
             "label": self.label,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -131,7 +134,8 @@ class CampaignJobSpec:
                        checkpoint_interval=int(
                            data.get("checkpoint_interval",
                                     DEFAULT_CHECKPOINT_INTERVAL)),
-                       label=data.get("label", ""))
+                       label=data.get("label", ""),
+                       backend=data.get("backend", "reference"))
         except (KeyError, TypeError, ValueError) as error:
             raise JournalError(f"malformed job spec: {error}") from error
 
@@ -157,7 +161,8 @@ def build_campaign(jobspec: CampaignJobSpec) -> FadesCampaign:
     workload = factory(list(jobspec.values))
     model = build_mc8051(workload.rom)
     return build_fades(model.netlist, seed=jobspec.seed,
-                       checkpoint_interval=jobspec.checkpoint_interval)
+                       checkpoint_interval=jobspec.checkpoint_interval,
+                       backend=jobspec.backend)
 
 
 class JobRunner:
@@ -192,8 +197,38 @@ class JobRunner:
             index=index)
         return record_from_result(index, result)
 
+    def batch_size(self) -> int:
+        """Experiments to hand to :meth:`run_indices` at a time.
+
+        The compiled backend evaluates a whole lane batch per simulator
+        pass, so shard-sized chunks should match its lane budget; the
+        reference backend gains nothing from batching.
+        """
+        if getattr(self.campaign, "backend", "reference") == "compiled":
+            from ..emu import lane_width
+            return max(1, lane_width() - 1)
+        return 1
+
     def run_indices(self, indices: Sequence[int]) -> List[Dict]:
-        return [self.run_index(index) for index in indices]
+        """Run several experiments; records in *indices* order.
+
+        Routes through the campaign's backend-aware batch path so the
+        compiled backend can pack the shard into bit lanes; the injector
+        re-seeding contract (see module docstring) holds either way.
+        """
+        if self.batch_size() == 1:
+            return [self.run_index(index) for index in indices]
+
+        def reseed(index: int) -> None:
+            self.campaign.injector.rng.seed(
+                derive_fault_seed(self.jobspec.seed, index))
+
+        faults = [self.faults[index] for index in indices]
+        results = self.campaign.run_batch(
+            faults, self.jobspec.spec.workload_cycles, pool=self.pool,
+            indices=list(indices), reseed=reseed)
+        return [record_from_result(index, result)
+                for index, result in zip(indices, results)]
 
 
 # ---------------------------------------------------------------------------

@@ -99,10 +99,12 @@ class CampaignMetrics:
 
     def __init__(self, progress: Optional[ProgressCallback] = None,
                  progress_interval: int = 1,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 backend: str = "reference"):
         self._progress = progress
         self._interval = max(1, progress_interval)
         self._clock = clock
+        self._backend = backend
         self._started = clock()
         self._phase_wall: Dict[str, float] = {}
         self.total = 0
@@ -132,7 +134,8 @@ class CampaignMetrics:
                 elapsed = self._clock() - begin
                 self._phase_wall[name] = self._phase_wall.get(name, 0.0) \
                     + elapsed
-                _PHASE_SECONDS.observe(elapsed, phase=name)
+                _PHASE_SECONDS.observe(elapsed, phase=name,
+                                       sim_backend=self._backend)
 
     def record(self, record: Dict) -> None:
         """Account one finished experiment (journal-record form)."""
