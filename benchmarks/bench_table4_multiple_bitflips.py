@@ -20,5 +20,5 @@ def test_table4_multiple_bitflips(benchmark, evaluation, record_artefact):
         # The defining property: at least two architectural registers
         # changed from one single-cycle combinational pulse.
         assert len(row.affected) >= 2
-        for name, golden, faulty in row.affected:
+        for _name, golden, faulty in row.affected:
             assert golden != faulty

@@ -61,6 +61,10 @@ class Evaluation:
     #: device model per experiment; ``compiled`` packs experiments into
     #: the bit-parallel :mod:`repro.emu` engine (same classification).
     backend: str = "reference"
+    #: Static fault analysis (:mod:`repro.sfa`): resolve provably
+    #: Silent faults without emulating them.  Outcome tallies are
+    #: guaranteed identical; only the wall-clock changes.
+    prune_silent: bool = False
     _workload: Optional[Workload] = None
     _model: Optional[Mc8051Model] = None
     _cycles: int = 0
@@ -95,7 +99,8 @@ class Evaluation:
             self._fades = build_fades(
                 self.model.netlist, seed=self.seed,
                 checkpoint_interval=CHECKPOINT_INTERVAL,
-                backend=self.backend)
+                backend=self.backend,
+                prune_silent=self.prune_silent)
         return self._fades
 
     @property

@@ -40,7 +40,34 @@ def full_report(evaluation: Optional[Evaluation] = None,
     for name, build in artefacts:
         with span("report", artefact=name):
             sections.append(build())
+    if evaluation.prune_silent:
+        with span("report", artefact="static-pruning"):
+            sections.append(_pruning_summary())
     return "\n\n".join(sections)
+
+
+def _pruning_summary() -> str:
+    """The "statically pruned" section of a ``--prune-silent`` report.
+
+    Reads the :mod:`repro.sfa` planning counters accumulated across
+    every campaign the report ran — how many faults were resolved
+    without emulation, and by which rule.
+    """
+    from ..obs.metrics import REGISTRY
+    lines = ["Statically pruned faults (repro.sfa)",
+             "===================================="]
+    pruned = REGISTRY.get("faults_pruned_total")
+    total = pruned.total() if pruned is not None else 0.0
+    lines.append(f"resolved without emulation: {total:.0f} faults")
+    if pruned is not None:
+        for key, value in sorted(pruned.series().items()):
+            rule = dict(key).get("rule", "?")
+            lines.append(f"  {rule:<16} {value:.0f}")
+    classes = REGISTRY.get("fault_classes_total")
+    if classes is not None and classes.total():
+        lines.append(f"equivalence classes planned: "
+                     f"{classes.total():.0f}")
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":

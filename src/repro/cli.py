@@ -12,8 +12,10 @@ emulated, the fault location and duration, the observation points"
     python -m repro campaign --model bitflip --workers 4 --journal out.jsonl
     python -m repro campaign --model bitflip --workers 4 --trace t.json \
         --metrics m.prom
+    python -m repro campaign --model bitflip --pool ffs --prune-silent
     python -m repro resume out.jsonl --workers 4
     python -m repro obs summarize t.json
+    python -m repro lint --fail-on error --json findings.json
     python -m repro screen
     python -m repro seu --count 40 --occupied
     python -m repro report --count 8 --workers 4
@@ -87,6 +89,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="simulator backend: reference device "
                                "stepping or the bit-parallel compiled "
                                "engine (repro.emu)")
+    campaign.add_argument("--prune-silent", action="store_true",
+                          help="statically resolve provably-Silent "
+                               "faults (repro.sfa) instead of emulating "
+                               "them; outcome tallies are unchanged")
     campaign.add_argument("--workers", type=int, default=0,
                           help="parallel worker processes "
                                "(0 = in-process serial)")
@@ -142,6 +148,23 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--backend", choices=("reference", "compiled"),
                         default="reference",
                         help="simulator backend for the FADES campaigns")
+    report.add_argument("--prune-silent", action="store_true",
+                        help="statically resolve provably-Silent faults "
+                             "in every campaign of the report")
+
+    lint = commands.add_parser(
+        "lint", help="structural lint over bundled designs (repro.sfa)")
+    lint.add_argument("designs", nargs="*",
+                      help="design names (default: every bundled design)")
+    lint.add_argument("--json", default=None, metavar="PATH",
+                      help="write machine-readable findings here "
+                           "('-' for stdout)")
+    lint.add_argument("--fail-on", default=None,
+                      choices=("info", "warn", "warning", "error"),
+                      help="exit non-zero when any design reaches this "
+                           "severity")
+    lint.add_argument("--netlist-only", action="store_true",
+                      help="skip the synthesised (mapped) variants")
 
     run_spec = commands.add_parser(
         "run-spec", help="execute a JSON campaign specification file")
@@ -196,10 +219,42 @@ def _render_result(heading: str, result) -> None:
     console(str(result.counts()))
     console(f"mean emulated time: {result.mean_emulation_s:.3f} s/fault "
             f"(campaign total {result.total_emulation_s:.1f} s)")
+    pruned, collapsed = result.pruned_count(), result.collapsed_count()
+    if pruned or collapsed:
+        console(f"statically resolved: {pruned} pruned (proven Silent), "
+                f"{collapsed} collapsed onto equivalence "
+                f"representatives; {result.emulated_count()} emulated")
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Structural lint gate; exit 1 when --fail-on trips."""
+    from .sfa import lint_bundled
+    threshold = args.fail_on
+    if threshold == "warn":
+        threshold = "warning"
+    reports = lint_bundled(args.designs or None,
+                           mapped=not args.netlist_only)
+    if args.json:
+        payload = json.dumps([report.to_dict() for report in reports],
+                             indent=2, sort_keys=True)
+        if args.json == "-":
+            console(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            log.info("lint findings written to %s", args.json)
+    if args.json != "-":
+        for report in reports:
+            console(report.render())
+    if threshold and any(report.fails(threshold) for report in reports):
+        log.error("lint gate tripped: severity >= %s found", threshold)
+        return 1
+    return 0
 
 
 def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
     evaluation.backend = args.backend
+    evaluation.prune_silent = args.prune_silent
     model = FaultModel(args.model)
     spec = evaluation.spec(model, args.pool, band=args.band,
                            count=args.count, oscillate=args.oscillate,
@@ -303,9 +358,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_screen(evaluation, args)
         if args.command == "seu":
             return cmd_seu(evaluation, args)
+        if args.command == "lint":
+            return cmd_lint(args)
         if args.command == "report":
             evaluation.workers = args.workers
             evaluation.backend = args.backend
+            evaluation.prune_silent = args.prune_silent
             console(full_report(evaluation, count=args.count))
             return 0
         if args.command == "run-spec":

@@ -51,7 +51,8 @@ def build_fades(netlist: Netlist, arch: Optional[Architecture] = None,
                 full_download_delays: bool = True,
                 inputs: Optional[dict] = None,
                 checkpoint_interval: int = 0,
-                backend: str = "reference") -> FadesCampaign:
+                backend: str = "reference",
+                prune_silent: bool = False) -> FadesCampaign:
     """Synthesise, implement and wrap a design into a FADES campaign.
 
     ``inputs`` holds constant primary-input values for the whole run
@@ -59,7 +60,9 @@ def build_fades(netlist: Netlist, arch: Optional[Architecture] = None,
     ``checkpoint_interval`` enables golden-run snapshots every N cycles so
     experiments fast-forward over their fault-free prefix; ``backend``
     selects the workload simulator (``reference`` or the bit-parallel
-    ``compiled`` engine of :mod:`repro.emu`).
+    ``compiled`` engine of :mod:`repro.emu`); ``prune_silent`` lets the
+    static fault analysis (:mod:`repro.sfa`) resolve provably Silent
+    faults without emulating them.
     """
     result = synthesize(netlist)
     impl = implement(result.mapped, arch=arch)
@@ -68,7 +71,8 @@ def build_fades(netlist: Netlist, arch: Optional[Architecture] = None,
                          full_download_delays=full_download_delays,
                          inputs=inputs,
                          checkpoint_interval=checkpoint_interval,
-                         backend=backend)
+                         backend=backend,
+                         prune_silent=prune_silent)
 
 
 __all__ = [

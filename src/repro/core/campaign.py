@@ -52,6 +52,11 @@ class ExperimentResult:
     outcome: Outcome
     cost: ExperimentCost
     first_divergence: Optional[int] = None
+    #: Statically proven Silent by :mod:`repro.sfa`; never emulated.
+    pruned: bool = False
+    #: Faultload index of the equivalence-class representative whose
+    #: emulation produced this outcome (fault collapsing), if any.
+    collapsed_from: Optional[int] = None
 
 
 @dataclass
@@ -75,6 +80,21 @@ class CampaignResult:
         """Percentage of failures (the paper's headline metric)."""
         return self.counts().percent(Outcome.FAILURE)
 
+    def pruned_count(self) -> int:
+        """Experiments resolved statically instead of being emulated."""
+        return sum(1 for experiment in self.experiments
+                   if experiment.pruned)
+
+    def collapsed_count(self) -> int:
+        """Experiments attributed from an equivalence representative."""
+        return sum(1 for experiment in self.experiments
+                   if experiment.collapsed_from is not None)
+
+    def emulated_count(self) -> int:
+        """Experiments that actually ran on the device."""
+        return (len(self.experiments) - self.pruned_count()
+                - self.collapsed_count())
+
 
 class FadesCampaign:
     """Run fault-emulation campaigns on one implemented design."""
@@ -85,10 +105,16 @@ class FadesCampaign:
                  full_download_delays: bool = True,
                  inputs: Optional[Dict[str, int]] = None,
                  checkpoint_interval: int = 0,
-                 backend: str = "reference"):
+                 backend: str = "reference",
+                 prune_silent: bool = False):
         self.impl = impl
         self.locmap = locmap
         self.inputs = dict(inputs or {})
+        #: Static fault analysis (:mod:`repro.sfa`): resolve provably
+        #: Silent faults without emulating them and collapse
+        #: behaviourally identical faults onto one representative.
+        self.prune_silent = prune_silent
+        self._static: Dict[tuple, object] = {}
         #: Simulator backend: ``reference`` runs each experiment through
         #: the device simulator; ``compiled`` packs experiments into the
         #: bit-lanes of the :mod:`repro.emu` engine (golden in lane 0).
@@ -304,13 +330,81 @@ class FadesCampaign:
                 self.run_experiment(fault, cycles, pool=pool, index=index))
         return results
 
+    def static_plan(self, faults: Sequence[Fault], cycles: int,
+                    restrict_rng_free: bool = False):
+        """Static-analysis verdict over a faultload (:mod:`repro.sfa`).
+
+        The analyses (structural graph, observability cones, workload
+        profile) are cached per workload-and-length, like the golden
+        trace; only the per-faultload planning repeats.  Imported
+        lazily — :mod:`repro.sfa` depends on this package.
+        """
+        from ..sfa.prune import StaticFaultAnalysis
+        key = (tuple(sorted(self.inputs.items())), cycles)
+        sfa = self._static.get(key)
+        if sfa is None:
+            device = self.device
+            sfa = StaticFaultAnalysis(
+                self.locmap.mapped, cycles, inputs=self.inputs,
+                timing=self.impl.timing,
+                trusted=(not device._violating
+                         and not device._broken_nets))
+            self._static[key] = sfa
+        return sfa.plan(faults, restrict_rng_free=restrict_rng_free)
+
+    def _run_pruned(self, faults: Sequence[Fault], cycles: int,
+                    pool: int) -> List[ExperimentResult]:
+        """Emulate only what static analysis cannot resolve.
+
+        Provably Silent faults are journalled directly (``pruned``);
+        equivalence-class members inherit their representative's
+        outcome (``collapsed_from``).  The serial campaign shares one
+        injector RNG stream across experiments, so the plan is
+        restricted to RNG-free faults — skipping an experiment must
+        never shift a later experiment's draws.
+        """
+        plan = self.static_plan(faults, cycles, restrict_rng_free=True)
+        survivors = plan.survivors()
+        emulated = self.run_batch(
+            [faults[index] for index in survivors], cycles, pool=pool,
+            indices=survivors)
+        by_index = dict(zip(survivors, emulated))
+        collapsed = plan.collapsed
+        results: List[ExperimentResult] = []
+        for index, fault in enumerate(faults):
+            if index in plan.pruned:
+                results.append(ExperimentResult(
+                    fault=fault, outcome=Outcome.SILENT,
+                    cost=ExperimentCost(), pruned=True))
+                continue
+            representative = collapsed.get(index)
+            if representative is not None:
+                rep = by_index[representative]
+                results.append(ExperimentResult(
+                    fault=fault, outcome=rep.outcome,
+                    cost=ExperimentCost(),
+                    first_divergence=rep.first_divergence,
+                    collapsed_from=representative))
+                continue
+            results.append(by_index[index])
+        return results
+
     def run_faults(self, faults: Sequence[Fault], cycles: int,
                    label: str = "", pool: int = 0) -> CampaignResult:
-        """Run a pre-generated fault list."""
+        """Run a pre-generated fault list.
+
+        With :attr:`prune_silent` the list first passes through
+        :meth:`static_plan`; mean emulation time is computed over the
+        experiments that actually ran (pruned and collapsed records
+        carry zero cost — the board never saw them).
+        """
         golden = self.golden_run(cycles)
         result = CampaignResult(spec_label=label, golden=golden)
         start_index = len(self.time_model.costs)
-        result.experiments = self.run_batch(faults, cycles, pool=pool)
+        if self.prune_silent:
+            result.experiments = self._run_pruned(faults, cycles, pool)
+        else:
+            result.experiments = self.run_batch(faults, cycles, pool=pool)
         costs = self.time_model.costs[start_index:]
         result.total_emulation_s = sum(cost.total_s for cost in costs)
         if costs:

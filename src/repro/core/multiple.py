@@ -72,7 +72,7 @@ class MultiLsrBitflip(Injection):
         jbits = self.injector.jbits
         # One state capture per distinct column.
         states = {}
-        for _index, (row, col) in self.sites:
+        for _index, (_row, col) in self.sites:
             if col not in states:
                 states[col] = jbits.read_frame(FrameAddr("state", col))
         for _index, (row, col) in self.sites:

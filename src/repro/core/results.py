@@ -21,13 +21,23 @@ class ResultRow:
     silent_pct: float
     mean_emulation_s: float
     n_faults: int
+    #: Faults resolved by static analysis instead of emulation
+    #: (:mod:`repro.sfa`); they still count in the percentages above.
+    n_pruned: int = 0
+    #: Faults attributed from an equivalence-class representative.
+    n_collapsed: int = 0
 
     def render(self) -> str:
+        static = ""
+        if self.n_pruned or self.n_collapsed:
+            static = (f"  statically pruned={self.n_pruned}"
+                      f" collapsed={self.n_collapsed}")
         return (f"{self.fault_model:<16} {self.location:<14} "
                 f"{self.duration_band:<6} "
                 f"F {self.failure_pct:5.1f}%  L {self.latent_pct:5.1f}%  "
                 f"S {self.silent_pct:5.1f}%  "
-                f"t={self.mean_emulation_s:7.3f}s  n={self.n_faults}")
+                f"t={self.mean_emulation_s:7.3f}s  n={self.n_faults}"
+                + static)
 
 
 def row_from_campaign(result: CampaignResult, fault_model: str,
@@ -43,6 +53,8 @@ def row_from_campaign(result: CampaignResult, fault_model: str,
         silent_pct=counts.percent(Outcome.SILENT),
         mean_emulation_s=result.mean_emulation_s,
         n_faults=counts.total,
+        n_pruned=result.pruned_count(),
+        n_collapsed=result.collapsed_count(),
     )
 
 

@@ -119,7 +119,7 @@ def place(mapped: MappedNetlist, arch: Architecture) -> Placement:
             packed_luts[lut_index] = ff_index
 
     placed_ffs = set()
-    for lut_index, lut in enumerate(mapped.luts):
+    for lut_index in range(len(mapped.luts)):
         site = next_site()
         ff_index = packed_luts.get(lut_index)
         cb = CbSite(lut=lut_index, ff=ff_index, packed=ff_index is not None)
@@ -128,7 +128,7 @@ def place(mapped: MappedNetlist, arch: Architecture) -> Placement:
         if ff_index is not None:
             placement.site_of_ff[ff_index] = site
             placed_ffs.add(ff_index)
-    for ff_index, ff in enumerate(mapped.ffs):
+    for ff_index in range(len(mapped.ffs)):
         if ff_index in placed_ffs:
             continue
         site = next_site()

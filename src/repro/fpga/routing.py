@@ -241,7 +241,7 @@ def route(placement: Placement) -> RoutingDb:
         sinks.setdefault(net, []).append(pin)
 
     packed_d_nets: Set[int] = set()
-    for site, cb in placement.sites.items():
+    for cb in placement.sites.values():
         if cb.packed and cb.ff is not None:
             packed_d_nets.add(mapped.ffs[cb.ff].d)
     for lut_index, lut in enumerate(mapped.luts):
@@ -258,7 +258,7 @@ def route(placement: Placement) -> RoutingDb:
         site = placement.bram_site(bram_index)
         ports = [("raddr", bram.raddr), ("waddr", bram.waddr),
                  ("wdata", bram.wdata), ("we", (bram.we,))]
-        for port_name, nets in ports:
+        for _port_name, nets in ports:
             for pos, net in enumerate(nets):
                 add_sink(net, Pin("bram", bram_index, pos, site))
     for name, nets in mapped.outputs.items():

@@ -174,7 +174,7 @@ class Assembler:
             position = counter + 1
             end = counter + spec.length
             fmt_atoms = fmt.split(",") if fmt else []
-            for (atom, value), fmt_atom in zip(atoms, fmt_atoms):
+            for (_atom, value), fmt_atom in zip(atoms, fmt_atoms):
                 if value is None:
                     continue
                 number = parse_number(value, self.symbols)

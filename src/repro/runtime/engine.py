@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Union
 
 from ..core import generate_faultload, pool_size
 from ..core.campaign import CampaignResult
+from ..core.classify import Outcome
 from ..core.faults import Fault
 from ..errors import JournalError, ObservabilityError
 from ..obs.profile import PhaseProfiler, maybe_profile
@@ -105,8 +106,6 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
             writer = JournalWriter(journal, jobspec, state=state)
 
     metrics.set_total(len(faults), skipped=len(records))
-    pending = [index for index in range(len(faults))
-               if index not in records]
 
     with metrics.phase("golden"), maybe_profile(profiler, "golden"):
         golden = campaign.golden_run(jobspec.spec.workload_cycles)
@@ -117,6 +116,25 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
             if writer is not None:
                 writer.append_record(record)
             metrics.record(record)
+
+    # Static fault analysis: journal provably-Silent faults directly and
+    # defer equivalence-class members to their representative's record.
+    # The plan is a pure function of the job spec (the faultload is
+    # seed-derived), so resumed campaigns recompute the identical plan
+    # and skip whatever of it is already journaled.  Unlike the serial
+    # path, every engine experiment re-seeds the injector per fault
+    # index, so no RNG-stream restriction is needed.
+    collapsed: Dict[int, int] = {}
+    if jobspec.prune_silent:
+        with metrics.phase("prune"), maybe_profile(profiler, "prune"):
+            plan = campaign.static_plan(faults,
+                                        jobspec.spec.workload_cycles)
+            collapsed = plan.collapsed
+            take([_pruned_record(index) for index in sorted(plan.pruned)
+                  if index not in records])
+
+    pending = [index for index in range(len(faults))
+               if index not in records and index not in collapsed]
 
     try:
         with metrics.phase("experiments"), \
@@ -140,6 +158,14 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
                 worker_pool.run(plan_shards(pending, workers, shard_size),
                                 lambda _shard, batch: take(batch),
                                 on_spans=on_spans)
+            if collapsed:
+                # Attribution: every representative has a record by now
+                # (journaled earlier or emulated above).
+                take([_collapsed_record(member, representative,
+                                        records[representative])
+                      for member, representative
+                      in sorted(collapsed.items())
+                      if member not in records])
 
         with metrics.phase("aggregate"), \
                 maybe_profile(profiler, "aggregate"):
@@ -191,9 +217,35 @@ def _assemble(jobspec: CampaignJobSpec, golden, faults: List[Fault],
     for index, fault in enumerate(faults):
         result.experiments.append(
             result_from_record(fault, records[index]))
+    # Mean emulated time covers the experiments that actually ran —
+    # statically resolved records carry zero cost by construction (the
+    # board never saw them), matching the serial path's accounting.
+    emulated = [experiment for experiment in result.experiments
+                if not experiment.pruned
+                and experiment.collapsed_from is None]
     result.total_emulation_s = sum(
-        experiment.cost.total_s for experiment in result.experiments)
-    if result.experiments:
+        experiment.cost.total_s for experiment in emulated)
+    if emulated:
         result.mean_emulation_s = (result.total_emulation_s
-                                   / len(result.experiments))
+                                   / len(emulated))
     return result
+
+
+def _zero_cost() -> Dict:
+    return {"locate_s": 0.0, "transfer_s": 0.0, "workload_s": 0.0,
+            "overhead_s": 0.0, "transactions": 0}
+
+
+def _pruned_record(index: int) -> Dict:
+    """Journal record for a fault the static analysis proved Silent."""
+    return {"index": index, "outcome": Outcome.SILENT.value,
+            "first_divergence": None, "cost": _zero_cost(),
+            "pruned": True}
+
+
+def _collapsed_record(index: int, representative: int,
+                      rep_record: Dict) -> Dict:
+    """Journal record attributing a representative's outcome."""
+    return {"index": index, "outcome": rep_record["outcome"],
+            "first_divergence": rep_record.get("first_divergence"),
+            "cost": _zero_cost(), "collapsed_from": representative}

@@ -64,6 +64,9 @@ class CampaignJobSpec:
     checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL
     label: str = ""
     backend: str = "reference"
+    #: Let :mod:`repro.sfa` resolve provably Silent faults statically
+    #: and collapse equivalent faults onto one representative.
+    prune_silent: bool = False
 
     @classmethod
     def from_evaluation(cls, evaluation, spec: FaultLoadSpec,
@@ -73,7 +76,9 @@ class CampaignJobSpec:
         return cls(spec=spec, values=tuple(evaluation.values),
                    seed=evaluation.seed, faultload_seed=faultload_seed,
                    label=label or spec.label(),
-                   backend=getattr(evaluation, "backend", "reference"))
+                   backend=getattr(evaluation, "backend", "reference"),
+                   prune_silent=getattr(evaluation, "prune_silent",
+                                        False))
 
     def effective_faultload_seed(self) -> int:
         return self.seed if self.faultload_seed is None else \
@@ -86,7 +91,7 @@ class CampaignJobSpec:
     def to_dict(self) -> Dict:
         """JSON-compatible form, stable across sessions."""
         spec = self.spec
-        return {
+        data: Dict = {
             "spec": {
                 "model": spec.model.value,
                 "pool": spec.pool,
@@ -108,6 +113,11 @@ class CampaignJobSpec:
             "label": self.label,
             "backend": self.backend,
         }
+        if self.prune_silent:
+            # Only serialised when set: journals written before the
+            # static-analysis era must keep resuming byte-compatibly.
+            data["prune_silent"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CampaignJobSpec":
@@ -135,7 +145,8 @@ class CampaignJobSpec:
                            data.get("checkpoint_interval",
                                     DEFAULT_CHECKPOINT_INTERVAL)),
                        label=data.get("label", ""),
-                       backend=data.get("backend", "reference"))
+                       backend=data.get("backend", "reference"),
+                       prune_silent=bool(data.get("prune_silent", False)))
         except (KeyError, TypeError, ValueError) as error:
             raise JournalError(f"malformed job spec: {error}") from error
 
@@ -162,7 +173,8 @@ def build_campaign(jobspec: CampaignJobSpec) -> FadesCampaign:
     model = build_mc8051(workload.rom)
     return build_fades(model.netlist, seed=jobspec.seed,
                        checkpoint_interval=jobspec.checkpoint_interval,
-                       backend=jobspec.backend)
+                       backend=jobspec.backend,
+                       prune_silent=jobspec.prune_silent)
 
 
 class JobRunner:
@@ -237,7 +249,7 @@ class JobRunner:
 def record_from_result(index: int, result: ExperimentResult) -> Dict:
     """Flatten one experiment into a JSON-compatible record."""
     cost = result.cost
-    return {
+    record = {
         "index": index,
         "outcome": result.outcome.value,
         "first_divergence": result.first_divergence,
@@ -249,6 +261,13 @@ def record_from_result(index: int, result: ExperimentResult) -> Dict:
             "transactions": cost.transactions,
         },
     }
+    # Static-analysis markers only appear when set, keeping emulated
+    # records byte-identical to pre-static-analysis journals.
+    if result.pruned:
+        record["pruned"] = True
+    if result.collapsed_from is not None:
+        record["collapsed_from"] = result.collapsed_from
+    return record
 
 
 def result_from_record(fault: Fault, record: Dict) -> ExperimentResult:
@@ -266,6 +285,8 @@ def result_from_record(fault: Fault, record: Dict) -> ExperimentResult:
                 transactions=int(cost.get("transactions", 0)),
             ),
             first_divergence=record.get("first_divergence"),
+            pruned=bool(record.get("pruned", False)),
+            collapsed_from=record.get("collapsed_from"),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise JournalError(f"malformed record: {error}") from error

@@ -1,0 +1,52 @@
+"""Static fault analysis: prove fault outcomes without emulating them.
+
+Most faults in a FADES campaign are Silent, and many provably so before
+any emulation happens — the flipped state washes out of every
+observability cone, the rewritten truth-table entry is unreachable, or
+the injected delay sits inside the timing slack.  This package derives
+those proofs from the netlist (and optionally the recorded golden
+workload) and feeds them back into the campaign as pruning and
+ATPG-style fault collapsing, plus a structural lint gate for the
+design zoo:
+
+* :mod:`repro.sfa.graph` — structural graph, levels, loops, cones,
+  observability closures, post-dominators;
+* :mod:`repro.sfa.observe` — stuck-value propagation, dead LUT entries,
+  sequential washout, and the workload-aware difference simulator;
+* :mod:`repro.sfa.collapse` — behavioural equivalence classes;
+* :mod:`repro.sfa.prune` — the campaign planner combining all rules;
+* :mod:`repro.sfa.lint` — ``repro lint`` findings with severities.
+"""
+
+from .collapse import (FaultClass, activation_window, behavioral_signature,
+                       clamped_start, collapse_faultload, dominance_summary)
+from .graph import StructuralGraph, sequential_depth
+from .lint import (Finding, LintReport, bundled_designs, lint_bundled,
+                   lint_design)
+from .observe import (ConstantPropagation, ObservabilityAnalysis,
+                      WorkloadProfile, resolve_flip)
+from .prune import PrunePlan, StaticFaultAnalysis, build_plan, rng_free
+
+__all__ = [
+    "ConstantPropagation",
+    "FaultClass",
+    "Finding",
+    "LintReport",
+    "ObservabilityAnalysis",
+    "PrunePlan",
+    "StaticFaultAnalysis",
+    "StructuralGraph",
+    "WorkloadProfile",
+    "activation_window",
+    "behavioral_signature",
+    "build_plan",
+    "bundled_designs",
+    "clamped_start",
+    "collapse_faultload",
+    "dominance_summary",
+    "lint_bundled",
+    "lint_design",
+    "resolve_flip",
+    "rng_free",
+    "sequential_depth",
+]

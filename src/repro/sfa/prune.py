@@ -1,0 +1,336 @@
+"""Campaign pruning: resolve faults statically instead of emulating them.
+
+:class:`StaticFaultAnalysis` combines every analysis in the package
+into one planner.  Given a faultload it produces a :class:`PrunePlan`
+naming (a) the faults whose outcome is *provably Silent* — they are
+journalled directly, with a ``pruned`` marker, and never touch the
+device — and (b) the equivalence classes whose members inherit their
+representative's outcome (``collapsed`` marker).
+
+Every rule errs on the side of emulating.  The rules, cheapest first:
+
+``window0-noop``
+    A sub-cycle transient whose active window covers no clock edge is
+    injected and removed with no intervening cycle; for mechanisms that
+    only touch configuration (LUT rewrites, CB-input inversion, delay
+    routing) the device provably returns to golden before the workload
+    advances.  FF indeterminations are *excluded*: asserting the LSR
+    line forces the flip-flop's state immediately, which removal does
+    not undo.
+``dead-lut-entry``
+    The faulty truth table agrees with the golden one on every entry
+    reachable under golden-run constants and tied inputs — the rewrite
+    can never change the LUT's output (sound even though the masks come
+    from the golden run, because this LUT is the only fault site).
+``washout``
+    The corruption's influence set — followed through the FF-to-FF
+    successor relation — touches no primary output and no memory port,
+    and provably goes extinct before the end of the run.
+``delay-slack``
+    A fan-out delay whose worst-case extra propagation delay is below
+    the timing slack of every combinationally reachable flip-flop
+    endpoint: no new setup violation, hence no behavioural change at
+    all (the device applies delay violations at FF capture only).
+``workload-silent``
+    Exact difference simulation of a single bit-flip against the
+    recorded golden net histories (:func:`repro.sfa.observe.resolve_flip`)
+    proves every difference dies out without reaching an output.
+
+The planner only trusts semantic rules (constants, washout, workload)
+when the golden configuration is ``trusted`` — no timing-violating
+flip-flops and no broken nets, mirroring the guards on the compiled
+backend.  When ``restrict_rng_free`` is set (serial campaigns share
+one injector RNG stream across faults), faults whose injection would
+consume randomness are never skipped, so the RNG stream — and with it
+every later experiment — stays exactly as in an unpruned run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # type-only: sfa has no runtime fpga dependency
+    from ..fpga.timing import TimingAnalysis
+
+from ..core.faults import Fault, FaultModel, TargetKind
+from ..core.injector import invert_lut_line, stuck_lut_line
+from ..obs.metrics import counter
+from ..synth.mapped import MappedNetlist
+from .collapse import (FaultClass, activation_window, clamped_start,
+                       collapse_faultload)
+from .graph import StructuralGraph
+from .observe import (DEFAULT_EVAL_BUDGET, ObservabilityAnalysis,
+                      WorkloadProfile, resolve_flip)
+
+_PRUNED = counter("faults_pruned_total",
+                  "Faults statically resolved as Silent, by rule")
+_CLASSES = counter("fault_classes_total",
+                   "Fault equivalence classes in planned campaigns")
+
+#: Margin below which timing slack is not trusted to absorb a delay.
+SLACK_EPSILON = 1e-9
+
+
+def rng_free(fault: Fault) -> bool:
+    """True when preparing and ticking *fault* draws no injector RNG.
+
+    Mirrors the injector: only indeterminations draw — at preparation
+    when no value was generated, and per-tick when oscillating across
+    two or more active cycles.
+    """
+    if fault.model is not FaultModel.INDETERMINATION:
+        return True
+    if fault.value is None:
+        return False
+    return not (fault.oscillate and activation_window(fault) >= 2)
+
+
+@dataclass
+class PrunePlan:
+    """The planner's verdict over one faultload."""
+
+    cycles: int
+    #: Faultload index -> rule that proved the fault Silent.
+    pruned: Dict[int, str] = field(default_factory=dict)
+    #: Equivalence classes over the *whole* faultload (singletons too).
+    classes: List[FaultClass] = field(default_factory=list)
+
+    @property
+    def collapsed(self) -> Dict[int, int]:
+        """Member index -> representative index, for members of
+        un-pruned multi-fault classes (the ones needing attribution)."""
+        attribution: Dict[int, int] = {}
+        for cls in self.classes:
+            if cls.representative in self.pruned:
+                continue
+            for member in cls.collapsed:
+                attribution[member] = cls.representative
+        return attribution
+
+    def survivors(self) -> List[int]:
+        """Indices the campaign must actually emulate, in order."""
+        skip = set(self.pruned)
+        skip.update(self.collapsed)
+        total = sum(len(cls.members) for cls in self.classes)
+        return [index for index in range(total) if index not in skip]
+
+    def stats(self) -> Dict[str, int]:
+        rules: Dict[str, int] = {}
+        for rule in self.pruned.values():
+            rules[rule] = rules.get(rule, 0) + 1
+        return {
+            "faults": sum(len(cls.members) for cls in self.classes),
+            "pruned": len(self.pruned),
+            "collapsed": len(self.collapsed),
+            "classes": len(self.classes),
+            **{f"rule:{name}": count for name, count in sorted(rules.items())},
+        }
+
+
+class StaticFaultAnalysis:
+    """All static analyses over one design + workload, lazily built."""
+
+    def __init__(self, mapped: MappedNetlist, cycles: int,
+                 inputs: Optional[Dict[str, int]] = None,
+                 timing: Optional["TimingAnalysis"] = None,
+                 trusted: bool = True) -> None:
+        self.mapped = mapped
+        self.cycles = cycles
+        self.inputs = dict(inputs or {})
+        self.timing = timing
+        self.trusted = trusted
+        self._graph: Optional[StructuralGraph] = None
+        self._analysis: Optional[ObservabilityAnalysis] = None
+        self._profile: Optional[WorkloadProfile] = None
+
+    # -- lazy layers ---------------------------------------------------
+    @property
+    def graph(self) -> StructuralGraph:
+        if self._graph is None:
+            self._graph = StructuralGraph.from_design(self.mapped)
+        return self._graph
+
+    @property
+    def analysis(self) -> ObservabilityAnalysis:
+        if self._analysis is None:
+            self._analysis = ObservabilityAnalysis(
+                self.mapped, self.graph, assume_inputs=self.inputs)
+        return self._analysis
+
+    @property
+    def profile(self) -> WorkloadProfile:
+        if self._profile is None:
+            self._profile = WorkloadProfile.record(
+                self.mapped, self.cycles, self.inputs)
+        return self._profile
+
+    # -- planning ------------------------------------------------------
+    def plan(self, faults: Sequence[Fault], *,
+             restrict_rng_free: bool = False,
+             collapse: bool = True,
+             use_workload: bool = True,
+             eval_budget: int = DEFAULT_EVAL_BUDGET) -> PrunePlan:
+        """Classify every fault as pruned, collapsed or to-emulate.
+
+        A pruned verdict on a class representative extends to every
+        member — they are behaviourally identical by construction.
+        Combinational loops disable all semantic rules (the reference
+        simulator's settled values are undefined there), leaving only
+        collapsing by literal identity.
+        """
+        trusted = self.trusted and not self.graph.combinational_loops()
+        if collapse:
+            classes = collapse_faultload(
+                faults, self.cycles, self.analysis if trusted else None)
+        else:
+            classes = [FaultClass(("singleton", i), i, (i,))
+                       for i in range(len(faults))]
+        plan = PrunePlan(cycles=self.cycles, classes=classes)
+        for cls in classes:
+            fault = faults[cls.representative]
+            if restrict_rng_free and not all(
+                    rng_free(faults[member]) for member in cls.members):
+                continue
+            rule = self._prune_rule(fault, trusted, use_workload,
+                                    eval_budget)
+            if rule is not None:
+                for member in cls.members:
+                    plan.pruned[member] = rule
+        for name, count in plan.stats().items():
+            if name.startswith("rule:"):
+                _PRUNED.inc(count, rule=name[len("rule:"):])
+        _CLASSES.inc(len(classes))
+        return plan
+
+    # -- rules ---------------------------------------------------------
+    def _prune_rule(self, fault: Fault, trusted: bool,
+                    use_workload: bool, eval_budget: int) -> Optional[str]:
+        if fault.extra_targets:
+            return None
+        model = fault.model
+        kind = fault.target.kind
+        start = clamped_start(fault, self.cycles)
+        window = activation_window(fault)
+        if window == 0 and model.transient:
+            config_only = (
+                model is FaultModel.PULSE
+                or model is FaultModel.DELAY
+                or (model is FaultModel.INDETERMINATION
+                    and kind is TargetKind.LUT))
+            if config_only:
+                return "window0-noop"
+        if not trusted:
+            return None
+        if model is FaultModel.DELAY:
+            return self._delay_below_slack(fault)
+        if kind is TargetKind.LUT and model in (
+                FaultModel.PULSE, FaultModel.INDETERMINATION):
+            return self._lut_transient(fault, start, window,
+                                       use_workload)
+        if model is FaultModel.PULSE and kind is TargetKind.CB_INPUT:
+            if self._ff_washout(fault.target.index, start, window):
+                return "washout"
+            return None
+        if model is FaultModel.INDETERMINATION and kind is TargetKind.FF:
+            # Even at window 0 the LSR assertion forces the state for
+            # one presented cycle.
+            if self._ff_washout(fault.target.index, start, max(1, window)):
+                return "washout"
+            return None
+        if model is FaultModel.BITFLIP:
+            return self._bitflip(fault, start, use_workload, eval_budget)
+        return None
+
+    def _lut_transient(self, fault: Fault, start: int, window: int,
+                       use_workload: bool) -> Optional[str]:
+        lut_index = fault.target.index
+        lut = self.mapped.luts[lut_index]
+        line = fault.target.line if fault.target.line is not None else -1
+        if line >= len(lut.ins):
+            return None  # the injector will reject it properly
+        golden = lut.padded_tt()
+        if fault.model is FaultModel.PULSE:
+            candidates = [invert_lut_line(golden, line)]
+        elif fault.value is not None and not fault.oscillate:
+            candidates = [stuck_lut_line(golden, line, fault.value)]
+        else:
+            # Randomised level: invisible only if both levels are.
+            candidates = [stuck_lut_line(golden, line, 0),
+                          stuck_lut_line(golden, line, 1)]
+        if all(self.analysis.lut_change_invisible(lut_index, tt)
+               for tt in candidates):
+            return "dead-lut-entry"
+        if self.analysis.comb_effect_only(lut.out):
+            return "washout"
+        seeds = self.graph.affected_ffs(lut.out)
+        cone = self.graph.comb_fanout(lut.out)
+        cone.add(lut.out)
+        if cone & self.graph.output_nets:
+            return None
+        if any(net in self.graph.bram_readers for net in cone):
+            return None
+        remaining = max(0, self.cycles - (start + window))
+        if self.analysis.washed_out(seeds, window, remaining):
+            return "washout"
+        return None
+
+    def _ff_washout(self, ff_index: int, start: int, window: int) -> bool:
+        remaining = max(0, self.cycles - (start + window))
+        return self.analysis.washed_out({ff_index}, window, remaining)
+
+    def _delay_below_slack(self, fault: Fault) -> Optional[str]:
+        if self.timing is None:
+            return None
+        params = self.timing.params
+        mechanism = fault.mechanism or (
+            "fanout" if fault.magnitude_ns <= 60 * params.t_load
+            else "reroute")
+        if mechanism != "fanout":
+            return None  # reroutes can slow the path arbitrarily
+        if self.timing.violating_ffs():
+            return None
+        loads = min(max(1, round(fault.magnitude_ns / params.t_load)), 192)
+        extra = loads * params.t_load
+        endpoints = self.graph.affected_ffs(fault.target.index)
+        if all(self.timing.ff_slack(ff) > extra + SLACK_EPSILON
+               for ff in endpoints):
+            return "delay-slack"
+        return None
+
+    def _bitflip(self, fault: Fault, start: int, use_workload: bool,
+                 eval_budget: int) -> Optional[str]:
+        kind = fault.target.kind
+        if kind is TargetKind.FF:
+            if self._ff_washout(fault.target.index, start, 1):
+                return "washout"
+            if use_workload:
+                verdict = resolve_flip(
+                    self.profile, self.graph, start, self.cycles,
+                    ff_index=fault.target.index, eval_budget=eval_budget)
+                if verdict:
+                    return "workload-silent"
+            return None
+        if kind is TargetKind.MEMORY_BIT and use_workload:
+            block = fault.target.index
+            bram = self.mapped.brams[block]
+            addr, bit = fault.target.addr, fault.target.bit
+            if addr is None or bit is None or not 0 <= addr < bram.depth:
+                return None
+            verdict = resolve_flip(
+                self.profile, self.graph, start, self.cycles,
+                mem_flip=(block, addr, bit), eval_budget=eval_budget)
+            if verdict:
+                return "workload-silent"
+        return None
+
+
+def build_plan(mapped: MappedNetlist, faults: Sequence[Fault],
+               cycles: int, inputs: Optional[Dict[str, int]] = None,
+               timing: Optional["TimingAnalysis"] = None,
+               trusted: bool = True,
+               restrict_rng_free: bool = False) -> PrunePlan:
+    """One-call convenience wrapper used by the campaign layer."""
+    sfa = StaticFaultAnalysis(mapped, cycles, inputs=inputs,
+                              timing=timing, trusted=trusted)
+    return sfa.plan(faults, restrict_rng_free=restrict_rng_free)

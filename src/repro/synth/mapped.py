@@ -88,24 +88,35 @@ class MappedNetlist:
     def check(self) -> None:
         """Validate structural invariants of the mapped design."""
         produced = {CONST0, CONST1}
-        for nets in self.inputs.values():
-            produced.update(nets)
+
+        def produce(net: int, driver: str) -> None:
+            if net in produced:
+                raise SynthesisError(
+                    f"net {net} driven twice (second driver: {driver})")
+            produced.add(net)
+
+        for name, nets in self.inputs.items():
+            for net in nets:
+                produce(net, f"input {name!r}")
         for ff in self.ffs:
-            produced.add(ff.q)
+            produce(ff.q, f"FF {ff.name!r}")
         for bram in self.brams:
-            produced.update(bram.rdata)
+            for net in bram.rdata:
+                produce(net, f"BRAM {bram.name!r}")
         for lut in self.luts:
             if len(lut.ins) > LUT_INPUTS:
                 raise SynthesisError(
                     f"LUT {lut.out} has {len(lut.ins)} inputs")
+            if not 0 <= lut.tt < (1 << (1 << len(lut.ins))):
+                raise SynthesisError(
+                    f"LUT {lut.out} truth table {lut.tt:#x} wider than "
+                    f"its {len(lut.ins)}-input arity allows")
             for net in lut.ins:
                 if net not in produced:
                     raise SynthesisError(
                         f"LUT {lut.out} reads unproduced net {net} "
                         "(not topological)")
-            if lut.out in produced:
-                raise SynthesisError(f"net {lut.out} driven twice")
-            produced.add(lut.out)
+            produce(lut.out, f"LUT {lut.out}")
         for ff in self.ffs:
             if ff.d not in produced:
                 raise SynthesisError(f"FF {ff.name!r} D reads dangling net")

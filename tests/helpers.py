@@ -76,7 +76,7 @@ def random_netlist(seed: int, n_inputs: int = 4, n_gates: int = 30,
         else:
             out = rtl.mux(rng.choice(pool), a, b)
         pool.append(out)
-    for index, reg in enumerate(regs):
+    for reg in regs:
         reg.drive(rng.choice(pool))
     for index in range(2):
         rtl.output(f"out{index}", rng.choice(pool))

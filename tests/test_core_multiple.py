@@ -72,7 +72,7 @@ class TestMultiFfInjection:
         placement = campaign.impl.placement
         # Find two FFs in the same column.
         by_col = {}
-        for index, (row, col) in placement.site_of_ff.items():
+        for index, (_row, col) in placement.site_of_ff.items():
             by_col.setdefault(col, []).append(index)
         same_col = next((v for v in by_col.values() if len(v) >= 2), None)
         if same_col is None:

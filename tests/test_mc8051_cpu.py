@@ -212,8 +212,7 @@ class TestWorkloads:
         iss.run_until_idle()
         sim, p1_changes = run_rtl(workload.rom, iss.cycles)
         assert p1_changes[-len(workload.expected_p1):] == \
-            workload.expected_p1 or p1_changes == [
-                v for v in workload.expected_p1]
+            workload.expected_p1 or p1_changes == list(workload.expected_p1)
 
     def test_rtl_runs_multiply(self):
         assert_equivalent("""

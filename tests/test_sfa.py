@@ -1,0 +1,441 @@
+"""Tests for repro.sfa — static fault analysis.
+
+Covers the structural graph, observability reasoning, ATPG-style fault
+collapsing, the netlist lint gate, and — the part with teeth — the
+campaign-pruning guarantee: a ``prune_silent`` campaign must produce a
+report table identical to the unpruned run, with every statically
+resolved fault provably Silent under the reference simulator.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import Evaluation
+from repro.core import (Fault, FaultLoadSpec, FaultModel, Outcome, Target,
+                        TargetKind, generate_faultload, row_from_campaign)
+from repro.errors import ReproError
+from repro.hdl import Rtl
+from repro.runtime import (CampaignJobSpec, read_journal, resume_campaign,
+                           run_campaign)
+from repro.sfa import (FaultClass, LintReport, ObservabilityAnalysis,
+                       StructuralGraph, activation_window,
+                       behavioral_signature, collapse_faultload,
+                       lint_bundled, lint_design, rng_free,
+                       sequential_depth)
+from repro.synth import synthesize
+from repro import designs
+
+from test_core_injector import make_campaign
+
+
+# ---------------------------------------------------------------------------
+# structural graph
+# ---------------------------------------------------------------------------
+class TestStructuralGraph:
+    def _counter_graph(self):
+        mapped = synthesize(designs.counter(4)).mapped
+        return mapped, StructuralGraph.from_design(mapped)
+
+    def test_state_nets_are_level_zero(self):
+        mapped, graph = self._counter_graph()
+        levels = graph.levels()
+        for ff in mapped.ffs:
+            assert levels[ff.q] == 0
+        for lut in mapped.luts:
+            assert levels[lut.out] >= 1
+
+    def test_counter_is_loop_free_and_clean(self):
+        _mapped, graph = self._counter_graph()
+        assert graph.combinational_loops() == []
+        assert graph.dead_cells() == []
+        assert graph.floating_inputs() == []
+
+    def test_every_counter_ff_is_observable(self):
+        # The count register drives the `value` output directly.
+        mapped, graph = self._counter_graph()
+        observable = graph.observable_nets()
+        for ff in mapped.ffs:
+            assert ff.q in observable
+
+    def test_feedback_keeps_influence_alive(self):
+        # A counter bit feeds itself: its influence set never dies out.
+        _mapped, graph = self._counter_graph()
+        assert sequential_depth(graph, 0, limit=64) is None
+
+    def test_comb_loop_detected_and_blocks_postdominators(self):
+        graph = StructuralGraph(
+            n_nets=4, cells=[(2, (3,)), (3, (2,))], ff_pairs=[],
+            bram_port_nets=[], bram_rdata_nets=[],
+            input_nets=set(), output_nets={2})
+        loops = graph.combinational_loops()
+        assert len(loops) == 1
+        assert sorted(loops[0]) == [2, 3]
+        with pytest.raises(ValueError):
+            graph.immediate_post_dominators()
+
+    def test_postdominator_on_a_chain(self):
+        # in(2) -> cell(3) -> cell(4) -> output: 4 post-dominates 3.
+        # (Nets 0 and 1 are the reserved constants.)
+        graph = StructuralGraph(
+            n_nets=5, cells=[(3, (2,)), (4, (3,))], ff_pairs=[],
+            bram_port_nets=[], bram_rdata_nets=[],
+            input_nets={2}, output_nets={4})
+        ipdom = graph.immediate_post_dominators()
+        assert ipdom[3] == 4
+        assert ipdom[4] is None
+
+
+# ---------------------------------------------------------------------------
+# observability
+# ---------------------------------------------------------------------------
+class TestObservability:
+    def _analysis(self, inputs=None):
+        mapped = synthesize(designs.counter(4)).mapped
+        graph = StructuralGraph.from_design(mapped)
+        return mapped, ObservabilityAnalysis(mapped, graph,
+                                             assume_inputs=inputs)
+
+    def test_reachable_mask_covers_padded_entries(self):
+        mapped, analysis = self._analysis()
+        for index in range(len(mapped.luts)):
+            mask = analysis.reachable_mask(index)
+            assert 0 < mask < (1 << 16) or mask == (1 << 16) - 1
+
+    def test_identity_rewrite_is_invisible(self):
+        mapped, analysis = self._analysis()
+        for index, lut in enumerate(mapped.luts):
+            assert analysis.lut_change_invisible(index, lut.padded_tt())
+
+    def test_output_inversion_is_visible_somewhere(self):
+        mapped, analysis = self._analysis()
+        visible = [index for index, lut in enumerate(mapped.luts)
+                   if not analysis.lut_change_invisible(
+                       index, lut.padded_tt() ^ 0xFFFF)]
+        assert visible  # inverting every entry must matter for some LUT
+
+    def test_tied_input_kills_entries(self):
+        # With `en` assumed constant 1, the entries where the enable
+        # line reads 0 become unreachable on the LUTs that sample it.
+        mapped, free = self._analysis()
+        _mapped, tied = self._analysis(inputs={"en": 1})
+        assert any(tied.reachable_mask(i) != free.reachable_mask(i)
+                   or tied.dead_entry_lines(i) != free.dead_entry_lines(i)
+                   for i in range(len(mapped.luts)))
+
+
+# ---------------------------------------------------------------------------
+# fault collapsing
+# ---------------------------------------------------------------------------
+class TestCollapse:
+    def test_ff_flips_collapse_across_mechanism_and_duration(self):
+        faults = [
+            Fault(FaultModel.BITFLIP, Target(TargetKind.FF, 3), 10,
+                  duration_cycles=1.0, mechanism="lsr"),
+            Fault(FaultModel.BITFLIP, Target(TargetKind.FF, 3), 10,
+                  duration_cycles=7.5, mechanism="gsr"),
+            Fault(FaultModel.BITFLIP, Target(TargetKind.FF, 3), 11),
+        ]
+        classes = collapse_faultload(faults, cycles=100)
+        assert len(classes) == 2
+        merged = next(cls for cls in classes if len(cls.members) == 2)
+        assert merged.representative == 0
+        assert merged.collapsed == (1,)
+
+    def test_randomised_faults_stay_singletons(self):
+        faults = [
+            Fault(FaultModel.INDETERMINATION, Target(TargetKind.FF, 0), 5),
+            Fault(FaultModel.INDETERMINATION, Target(TargetKind.FF, 0), 5),
+        ]
+        assert all(behavioral_signature(f, 100) is None for f in faults)
+        classes = collapse_faultload(faults, cycles=100)
+        assert len(classes) == 2
+        assert all(len(cls.members) == 1 for cls in classes)
+
+    def test_start_clamp_merges_overshooting_faults(self):
+        # Both flips land on the last emulated cycle after clamping.
+        faults = [
+            Fault(FaultModel.BITFLIP, Target(TargetKind.FF, 1), 99),
+            Fault(FaultModel.BITFLIP, Target(TargetKind.FF, 1), 2500),
+        ]
+        classes = collapse_faultload(faults, cycles=100)
+        assert len(classes) == 1
+
+    def test_activation_window_rules(self):
+        base = dict(model=FaultModel.PULSE,
+                    target=Target(TargetKind.LUT, 0, line=-1),
+                    start_cycle=4)
+        assert activation_window(
+            Fault(duration_cycles=0.5, phase=0.1, **base)) == 0
+        assert activation_window(
+            Fault(duration_cycles=0.5, phase=0.7, **base)) == 1
+        assert activation_window(
+            Fault(duration_cycles=2.5, phase=0.2, **base)) == 2
+
+    def test_rng_free_predicate(self):
+        ff = Target(TargetKind.FF, 0)
+        assert rng_free(Fault(FaultModel.BITFLIP, ff, 1))
+        assert rng_free(Fault(FaultModel.INDETERMINATION, ff, 1, value=1))
+        assert not rng_free(Fault(FaultModel.INDETERMINATION, ff, 1))
+        assert not rng_free(Fault(FaultModel.INDETERMINATION, ff, 1,
+                                  value=1, oscillate=True,
+                                  duration_cycles=4.0))
+
+    def test_collapsible_signatures_are_rng_free(self):
+        # The serial campaign relies on this: any fault the planner may
+        # skip must not consume injector randomness.
+        ff = Target(TargetKind.FF, 0)
+        samples = [
+            Fault(FaultModel.BITFLIP, ff, 1),
+            Fault(FaultModel.INDETERMINATION, ff, 1),
+            Fault(FaultModel.INDETERMINATION, ff, 1, value=0),
+            Fault(FaultModel.INDETERMINATION, ff, 1, value=0,
+                  oscillate=True, duration_cycles=3.0),
+            Fault(FaultModel.PULSE, Target(TargetKind.LUT, 0, line=-1), 1),
+        ]
+        for fault in samples:
+            if behavioral_signature(fault, 100) is not None:
+                assert rng_free(fault)
+
+
+# ---------------------------------------------------------------------------
+# lint
+# ---------------------------------------------------------------------------
+class TestLint:
+    def test_bundled_designs_have_no_errors(self):
+        for report in lint_bundled(["counter", "fir", "uart"]):
+            assert not report.fails("error"), report.render()
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ReproError, match="unknown design"):
+            lint_bundled(["no_such_design"])
+
+    def test_invariant_violation_is_an_error(self):
+        mapped = synthesize(designs.counter(4)).mapped
+        mapped.ffs.append(mapped.ffs[0])  # duplicate driver
+        report = lint_design(mapped, "broken")
+        assert report.worst() == "error"
+        assert report.findings[0].check == "invariants"
+
+    def test_structural_warnings_and_infos(self):
+        rtl = Rtl("linty")
+        a = rtl.input("a", 1)
+        b = rtl.input("b", 1)
+        rtl.input("unused", 1)
+        rtl.xor_(a, b)                    # dangling gate: dead logic
+        rtl.output("o", rtl.and_(a, b))   # comb input-to-output path
+        report = lint_design(rtl.build())
+        checks = {finding.check for finding in report.findings}
+        assert {"floating-input", "dead-logic",
+                "unregistered-output"} <= checks
+        assert report.worst() == "warning"
+        assert report.fails("warning")
+        assert not report.fails("error")
+
+    def test_report_json_round_trip(self):
+        report = lint_design(designs.counter(4), "counter")
+        data = json.loads(report.to_json())
+        assert data["design"] == "counter"
+        assert set(data["counts"]) == {"info", "warning", "error"}
+
+    def test_empty_report_never_fails(self):
+        assert not LintReport(design="x").fails("info")
+
+
+# ---------------------------------------------------------------------------
+# prune plan on a small design
+# ---------------------------------------------------------------------------
+class TestPrunePlan:
+    @pytest.fixture()
+    def campaign(self):
+        return make_campaign(designs.counter(4), inputs={"en": 1})
+
+    def test_window0_pulse_pruned(self, campaign):
+        fault = Fault(FaultModel.PULSE, Target(TargetKind.LUT, 0, line=-1),
+                      5, duration_cycles=0.3, phase=0.1)
+        plan = campaign.static_plan([fault], cycles=20)
+        assert plan.pruned == {0: "window0-noop"}
+        assert plan.survivors() == []
+
+    def test_sub_cycle_ff_indetermination_not_pruned_as_noop(self, campaign):
+        # Asserting LSR forces the state even in a window-0 transient.
+        fault = Fault(FaultModel.INDETERMINATION, Target(TargetKind.FF, 0),
+                      5, duration_cycles=0.3, phase=0.1, value=1)
+        plan = campaign.static_plan([fault], cycles=20)
+        assert plan.pruned.get(0) != "window0-noop"
+
+    def test_tiny_fanout_delay_absorbed_by_slack(self, campaign):
+        net = campaign.locmap.mapped.ffs[0].q
+        fault = Fault(FaultModel.DELAY, Target(TargetKind.NET, net), 5,
+                      magnitude_ns=0.01, mechanism="fanout")
+        plan = campaign.static_plan([fault], cycles=20)
+        assert plan.pruned == {0: "delay-slack"}
+
+    def test_plan_partitions_the_faultload(self, campaign):
+        spec = FaultLoadSpec(model=FaultModel.BITFLIP, pool="ffs",
+                             count=16, workload_cycles=20)
+        faults = generate_faultload(spec, campaign.locmap, seed=7)
+        plan = campaign.static_plan(faults, cycles=20)
+        survivors = set(plan.survivors())
+        pruned = set(plan.pruned)
+        collapsed = set(plan.collapsed)
+        assert survivors | pruned | collapsed == set(range(len(faults)))
+        assert not survivors & pruned
+        assert not survivors & collapsed
+        assert not pruned & collapsed
+        stats = plan.stats()
+        assert stats["faults"] == len(faults)
+        assert stats["pruned"] == len(pruned)
+
+    def test_pruned_verdict_extends_to_class_members(self):
+        plan_cls = FaultClass(("ff-flip", 0, 5), 0, (0, 2))
+        assert plan_cls.collapsed == (2,)
+
+
+# ---------------------------------------------------------------------------
+# the pruning guarantee: identical report tables on bundled designs
+# ---------------------------------------------------------------------------
+class TestPruneSilentIdenticalTables:
+    DESIGNS = [
+        ("counter", lambda: designs.counter(4), {"en": 1}),
+        ("fir", lambda: designs.fir_filter(), {"sample": 5, "valid": 1}),
+        ("uart", lambda: designs.uart_tx(), {"data": 0x5A, "send": 1}),
+    ]
+    SPECS = [
+        FaultLoadSpec(model=FaultModel.BITFLIP, pool="ffs", count=10,
+                      workload_cycles=40),
+        FaultLoadSpec(model=FaultModel.PULSE, pool="luts", count=10,
+                      duration_range=(0.1, 0.9), workload_cycles=40),
+    ]
+
+    @pytest.mark.parametrize("name,builder,inputs", DESIGNS,
+                             ids=[d[0] for d in DESIGNS])
+    def test_tables_identical(self, name, builder, inputs):
+        netlist = builder()
+        baseline = make_campaign(netlist, inputs=inputs)
+        pruned = make_campaign(netlist, inputs=inputs, prune_silent=True)
+        resolved = 0
+        for spec in self.SPECS:
+            ref = baseline.run(spec, seed=2006)
+            opt = pruned.run(spec, seed=2006)
+            assert [e.outcome for e in opt.experiments] \
+                == [e.outcome for e in ref.experiments]
+            ref_row = row_from_campaign(ref, spec.model.value, name, "b")
+            opt_row = row_from_campaign(opt, spec.model.value, name, "b")
+            assert opt_row.failure_pct == ref_row.failure_pct
+            assert opt_row.latent_pct == ref_row.latent_pct
+            assert opt_row.silent_pct == ref_row.silent_pct
+            assert opt_row.n_faults == ref_row.n_faults
+            resolved += opt.pruned_count() + opt.collapsed_count()
+            for experiment in opt.experiments:
+                if experiment.pruned:
+                    assert experiment.outcome is Outcome.SILENT
+                    assert experiment.cost.transactions == 0
+        assert resolved > 0, f"{name}: nothing statically resolved"
+
+
+# ---------------------------------------------------------------------------
+# acceptance: mc8051 bit-flip campaign, >= 10% statically resolved
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def evaluation():
+    return Evaluation()
+
+
+@pytest.fixture(scope="module")
+def bitflip_spec(evaluation):
+    return evaluation.spec(FaultModel.BITFLIP, "ffs", 1, count=12)
+
+
+@pytest.fixture(scope="module")
+def bitflip_runs(evaluation, bitflip_spec):
+    baseline = evaluation.run_fades(bitflip_spec)
+    pruned = Evaluation(prune_silent=True).run_fades(bitflip_spec)
+    return baseline, pruned
+
+
+class TestMc8051Acceptance:
+    def test_prunes_at_least_ten_percent(self, bitflip_runs):
+        _baseline, pruned = bitflip_runs
+        total = len(pruned.experiments)
+        assert pruned.pruned_count() >= max(1, total // 10)
+
+    def test_zero_classification_differences(self, bitflip_runs):
+        baseline, pruned = bitflip_runs
+        assert [e.outcome for e in pruned.experiments] \
+            == [e.outcome for e in baseline.experiments]
+
+    def test_every_pruned_fault_is_silent_under_reference(self, bitflip_runs):
+        baseline, pruned = bitflip_runs
+        flagged = [index for index, e in enumerate(pruned.experiments)
+                   if e.pruned]
+        assert flagged
+        for index in flagged:
+            assert baseline.experiments[index].outcome is Outcome.SILENT
+            assert pruned.experiments[index].outcome is Outcome.SILENT
+
+    def test_emulation_time_counts_emulated_faults_only(self, bitflip_runs):
+        _baseline, pruned = bitflip_runs
+        for experiment in pruned.experiments:
+            if experiment.pruned or experiment.collapsed_from is not None:
+                assert experiment.cost.transactions == 0
+        emulated = [e for e in pruned.experiments
+                    if not e.pruned and e.collapsed_from is None]
+        total = sum(e.cost.total_s for e in emulated)
+        assert pruned.total_emulation_s == pytest.approx(total)
+
+
+# ---------------------------------------------------------------------------
+# engine + journal integration
+# ---------------------------------------------------------------------------
+class TestEngineJournalMarkers:
+    def test_markers_survive_journal_and_resume(self, tmp_path, evaluation,
+                                                bitflip_spec):
+        jobspec = CampaignJobSpec.from_evaluation(
+            Evaluation(prune_silent=True), bitflip_spec)
+        journal = str(tmp_path / "sfa.jsonl")
+        result = run_campaign(jobspec, journal=journal)
+        assert result.pruned_count() >= 1
+
+        with open(journal, "r", encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle]
+        records = [e for e in entries if e.get("type") == "record"]
+        flagged = [r for r in records if r.get("pruned")]
+        assert len(flagged) == result.pruned_count()
+        for record in flagged:
+            assert record["outcome"] == "silent"
+            assert record["cost"]["transactions"] == 0
+
+        resumed = resume_campaign(journal)
+        assert [e.outcome for e in resumed.experiments] \
+            == [e.outcome for e in result.experiments]
+        assert resumed.pruned_count() == result.pruned_count()
+        assert resumed.collapsed_count() == result.collapsed_count()
+
+    def test_engine_agrees_with_serial_path(self, bitflip_runs, evaluation,
+                                            bitflip_spec):
+        _baseline, serial = bitflip_runs
+        jobspec = CampaignJobSpec.from_evaluation(
+            Evaluation(prune_silent=True), bitflip_spec)
+        engine = run_campaign(jobspec)
+        assert [e.outcome for e in engine.experiments] \
+            == [e.outcome for e in serial.experiments]
+
+    def test_jobspec_serialisation_compatibility(self, evaluation,
+                                                 bitflip_spec):
+        plain = CampaignJobSpec.from_evaluation(evaluation, bitflip_spec)
+        assert "prune_silent" not in plain.to_dict()  # old journals resume
+        assert not CampaignJobSpec.from_dict(plain.to_dict()).prune_silent
+        pruning = CampaignJobSpec.from_evaluation(
+            Evaluation(prune_silent=True), bitflip_spec)
+        assert pruning.to_dict()["prune_silent"] is True
+        assert CampaignJobSpec.from_dict(pruning.to_dict()).prune_silent
+
+    def test_journal_reader_accepts_marker_records(self, tmp_path, evaluation,
+                                                   bitflip_spec):
+        jobspec = CampaignJobSpec.from_evaluation(
+            Evaluation(prune_silent=True), bitflip_spec)
+        journal = str(tmp_path / "sfa2.jsonl")
+        run_campaign(jobspec, journal=journal)
+        state = read_journal(journal)
+        assert len(state.records) == bitflip_spec.count

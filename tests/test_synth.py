@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro.errors import LocationError
+from repro.errors import LocationError, SynthesisError
 from repro.hdl import NetlistSim, Rtl
 from repro.synth import (LUT_INPUTS, MappedSim, optimize, synthesize,
                          techmap)
+from repro.synth.mapped import Lut
 
 from helpers import (build_accumulator, build_alu4, build_counter,
                      random_netlist, random_stimulus)
@@ -120,6 +121,54 @@ class TestTechmap:
     def test_units_propagate_to_luts(self):
         result = synthesize(build_alu4())
         assert any(lut.unit == "ALU" for lut in result.mapped.luts)
+
+
+class TestMappedCheck:
+    """Structural invariants rejected by MappedNetlist.check()."""
+
+    def _mapped(self):
+        return synthesize(build_counter()).mapped
+
+    def test_synthesized_design_passes(self):
+        self._mapped().check()
+
+    def test_truth_table_wider_than_arity_rejected(self):
+        mapped = self._mapped()
+        lut = mapped.luts[0]
+        lut.tt = 1 << (1 << len(lut.ins))  # one bit past the arity
+        with pytest.raises(SynthesisError, match="truth table"):
+            mapped.check()
+
+    def test_negative_truth_table_rejected(self):
+        mapped = self._mapped()
+        mapped.luts[0].tt = -1
+        with pytest.raises(SynthesisError, match="truth table"):
+            mapped.check()
+
+    def test_maximal_truth_table_accepted(self):
+        mapped = self._mapped()
+        lut = mapped.luts[0]
+        lut.tt = (1 << (1 << len(lut.ins))) - 1  # constant-one: legal
+        mapped.check()
+
+    def test_lut_redriving_ff_output_rejected(self):
+        mapped = self._mapped()
+        victim = mapped.ffs[0].q
+        mapped.luts.append(Lut(out=victim, ins=(victim,), tt=0b01))
+        with pytest.raises(SynthesisError, match="driven twice"):
+            mapped.check()
+
+    def test_duplicate_ff_driver_rejected(self):
+        mapped = self._mapped()
+        mapped.ffs.append(mapped.ffs[0])
+        with pytest.raises(SynthesisError, match="driven twice"):
+            mapped.check()
+
+    def test_input_shadowing_ff_rejected(self):
+        mapped = self._mapped()
+        mapped.inputs["en"] = [mapped.ffs[0].q]
+        with pytest.raises(SynthesisError, match="driven twice"):
+            mapped.check()
 
 
 class TestLocationMap:
