@@ -1,0 +1,120 @@
+"""Statistical planner savings — adaptive stopping vs the paper's 3000.
+
+Runs the paper's table-2 bitflip/FFs experiment class twice on the
+compiled backend:
+
+* **fixed** — the paper's protocol: 3000 faults, no stopping rule;
+* **adaptive** — the same faultload under the sequential controller
+  (``epsilon=0.05``, budget 3000): stop once every outcome rate's
+  Wilson interval is within ±5 points.
+
+The verdict, persisted to
+``benchmarks/results/BENCH_faultload_savings.json``, asserts the
+planner's value proposition: the adaptive campaign reaches the same
+±epsilon precision with at least ``MIN_SAVINGS``x fewer experiments,
+and its reported intervals cover the fixed campaign's point estimates
+(the estimate it replaces is inside the uncertainty it reports).
+
+Scale: ``REPRO_FAULTLOAD_BENCH_FAULTS=<n>`` shrinks the fixed budget
+for quick local runs (the savings assertion still applies).
+"""
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import replace
+
+from repro.analysis import Evaluation
+from repro.core import FaultModel, Outcome
+from repro.runtime import CampaignJobSpec, run_campaign
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's per-class campaign size (table 2) and the precision the
+#: adaptive run must match.
+FIXED_FAULTS = 3000
+EPSILON = 0.05
+MIN_SAVINGS = 2.0
+
+OUTCOMES = ("failure", "latent", "silent")
+
+
+def _rates(result):
+    counts = result.counts()
+    return {outcome: counts.percent(Outcome(outcome)) / 100.0
+            for outcome in OUTCOMES}
+
+
+def test_adaptive_campaign_halves_the_experiment_count(record_artefact):
+    budget = int(os.environ.get("REPRO_FAULTLOAD_BENCH_FAULTS",
+                                str(FIXED_FAULTS)))
+    evaluation = Evaluation(backend="compiled")
+    spec = evaluation.spec(FaultModel.BITFLIP, "ffs", 1, budget)
+    fixed_jobspec = CampaignJobSpec.from_evaluation(
+        evaluation, spec, faultload_seed=evaluation.seed)
+    adaptive_jobspec = replace(fixed_jobspec, epsilon=EPSILON,
+                               budget=budget)
+
+    start = time.perf_counter()
+    fixed = run_campaign(fixed_jobspec)
+    fixed_s = time.perf_counter() - start
+    start = time.perf_counter()
+    adaptive = run_campaign(adaptive_jobspec)
+    adaptive_s = time.perf_counter() - start
+
+    assert adaptive.stop is not None
+    n_adaptive = adaptive.stop["n"]
+    savings = budget / n_adaptive
+    fixed_rates = _rates(fixed)
+    coverage = {
+        outcome: (adaptive.stop["intervals"][outcome][2]
+                  <= fixed_rates[outcome]
+                  <= adaptive.stop["intervals"][outcome][3])
+        for outcome in OUTCOMES}
+
+    result = {
+        "experiment_class": "bitflip/FFs",
+        "backend": "compiled",
+        "epsilon": EPSILON,
+        "fixed_faults": budget,
+        "adaptive_faults": n_adaptive,
+        "savings_factor": round(savings, 2),
+        "min_savings_factor": MIN_SAVINGS,
+        "stop_reason": adaptive.stop["reason"],
+        "stopping_checks": adaptive.stop["checks"],
+        "half_width": adaptive.stop["half_width"],
+        "fixed_rates": {k: round(v, 4) for k, v in fixed_rates.items()},
+        "adaptive_intervals": adaptive.stop["intervals"],
+        "fixed_point_in_adaptive_interval": coverage,
+        "fixed_wall_s": round(fixed_s, 2),
+        "adaptive_wall_s": round(adaptive_s, 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_faultload_savings.json").write_text(
+        json.dumps(result, indent=2) + "\n")
+    record_artefact(
+        "faultload_savings",
+        f"statistical planner: fixed {budget} vs adaptive "
+        f"{n_adaptive} faults ({savings:.1f}x fewer, "
+        f"eps={EPSILON}) | stop={adaptive.stop['reason']} after "
+        f"{adaptive.stop['checks']} checks | wall "
+        f"{fixed_s:.1f} s -> {adaptive_s:.1f} s")
+
+    assert adaptive.stop["reason"] == "converged", (
+        f"adaptive campaign exhausted its budget without reaching "
+        f"±{EPSILON}")
+    assert adaptive.stop["half_width"] <= EPSILON
+    assert savings >= MIN_SAVINGS, (
+        f"adaptive campaign used {n_adaptive} of {budget} faults — only "
+        f"{savings:.2f}x savings (need >= {MIN_SAVINGS}x)")
+    missed = [outcome for outcome, ok in coverage.items() if not ok]
+    assert not missed, (
+        f"adaptive intervals fail to cover the fixed point estimate "
+        f"for: {', '.join(missed)}")
+
+
+if __name__ == "__main__":
+    import pytest
+    import sys
+    sys.exit(pytest.main([__file__, "-q"]))

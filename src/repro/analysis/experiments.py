@@ -65,6 +65,16 @@ class Evaluation:
     #: Silent faults without emulating them.  Outcome tallies are
     #: guaranteed identical; only the wall-clock changes.
     prune_silent: bool = False
+    #: Statistical campaign planning (:mod:`repro.faultload`):
+    #: ``strategy`` picks the sampler (``uniform`` is the historical
+    #: draw; ``stratified``/``importance`` allocate per resource
+    #: group), ``epsilon`` enables confidence-driven early stopping at
+    #: ±epsilon Wilson half-width, ``budget`` caps the experiment
+    #: count.  All defaults keep the fixed-budget behaviour bit-exact.
+    strategy: str = "uniform"
+    confidence: float = 0.95
+    epsilon: Optional[float] = None
+    budget: Optional[int] = None
     _workload: Optional[Workload] = None
     _model: Optional[Mc8051Model] = None
     _cycles: int = 0
@@ -118,10 +128,15 @@ class Evaluation:
         previous releases); ``workers >= 2`` dispatches through the
         campaign runtime, whose determinism contract re-seeds the
         injector per fault index (identical results for any worker
-        count, and for serial engine runs).
+        count, and for serial engine runs).  Adaptive settings
+        (non-uniform :attr:`strategy`, :attr:`epsilon` or
+        :attr:`budget`) always route through the runtime engine — its
+        incremental dispatch loop hosts the stopping controller.
         """
         seed = self.seed if seed is None else seed
-        if self.workers >= 2:
+        adaptive = (self.strategy != "uniform" or self.epsilon is not None
+                    or self.budget is not None)
+        if self.workers >= 2 or adaptive:
             from ..runtime import CampaignJobSpec, run_campaign
             jobspec = CampaignJobSpec.from_evaluation(
                 self, spec, faultload_seed=seed)

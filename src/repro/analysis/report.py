@@ -43,6 +43,11 @@ def full_report(evaluation: Optional[Evaluation] = None,
     if evaluation.prune_silent:
         with span("report", artefact="static-pruning"):
             sections.append(_pruning_summary())
+    if (getattr(evaluation, "epsilon", None) is not None
+            or getattr(evaluation, "strategy", "uniform") != "uniform"
+            or getattr(evaluation, "budget", None) is not None):
+        with span("report", artefact="adaptive-planning"):
+            sections.append(_adaptive_summary())
     return "\n\n".join(sections)
 
 
@@ -67,6 +72,29 @@ def _pruning_summary() -> str:
     if classes is not None and classes.total():
         lines.append(f"equivalence classes planned: "
                      f"{classes.total():.0f}")
+    return "\n".join(lines)
+
+
+def _adaptive_summary() -> str:
+    """The "statistical planner" section of an adaptive report.
+
+    Reads the :mod:`repro.faultload` counters accumulated across every
+    campaign the report ran — how many stopping-rule checks fired and
+    how many budgeted experiments were never emulated.
+    """
+    from ..obs.metrics import REGISTRY
+    lines = ["Statistical campaign planning (repro.faultload)",
+             "==============================================="]
+    saved = REGISTRY.get("experiments_saved_total")
+    total = saved.total() if saved is not None else 0.0
+    lines.append(f"experiments saved by early stopping: {total:.0f}")
+    if saved is not None:
+        for key, value in sorted(saved.series().items()):
+            reason = dict(key).get("reason", "?")
+            lines.append(f"  {reason:<16} {value:.0f}")
+    checks = REGISTRY.get("stopping_rule_checks_total")
+    if checks is not None and checks.total():
+        lines.append(f"stopping-rule checks: {checks.total():.0f}")
     return "\n".join(lines)
 
 

@@ -11,9 +11,28 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from statistics import NormalDist
 from typing import Tuple
 
 from ..core.classify import OutcomeCounts
+
+# The z values the docs (and years of journals/tests) quote for the three
+# standard confidence levels.  NormalDist().inv_cdf returns full-precision
+# quantiles (1.95996… for 0.95); keeping the documented 4-decimal values
+# for exactly these keys preserves bit-identical intervals.  Lookup is by
+# exact float key on purpose: 0.951 must get the exact quantile, not the
+# rounded 0.95 entry.
+_Z_DOCUMENTED = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def z_value(confidence: float) -> float:
+    """Two-sided standard-normal critical value for a confidence level."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence {confidence} outside (0, 1)")
+    z = _Z_DOCUMENTED.get(confidence)
+    if z is None:
+        z = NormalDist().inv_cdf(0.5 + confidence / 2)
+    return z
 
 
 @dataclass(frozen=True)
@@ -49,17 +68,15 @@ def wilson(successes: int, trials: int,
            confidence: float = 0.95) -> Proportion:
     """Wilson score interval for a binomial proportion.
 
-    ``confidence`` picks the z value (0.90/0.95/0.99 supported exactly;
-    anything else falls back to a normal-quantile approximation).
+    ``confidence`` picks the z value via the exact inverse normal CDF
+    (:func:`z_value`); the documented 0.90/0.95/0.99 levels keep their
+    historical 4-decimal z values bit-for-bit.
     """
     if trials < 0 or not 0 <= successes <= max(trials, 0):
         raise ValueError(f"invalid counts: {successes}/{trials}")
     if trials == 0:
         return Proportion(0, 0, 0.0, 1.0)
-    z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}.get(
-        round(confidence, 2))
-    if z is None:
-        z = _normal_quantile(0.5 + confidence / 2)
+    z = z_value(confidence)
     p = successes / trials
     denom = 1 + z * z / trials
     centre = (p + z * z / (2 * trials)) / denom
@@ -68,40 +85,6 @@ def wilson(successes: int, trials: int,
     low = 0.0 if successes == 0 else max(0.0, centre - margin)
     high = 1.0 if successes == trials else min(1.0, centre + margin)
     return Proportion(successes, trials, low=low, high=high)
-
-
-def _normal_quantile(q: float) -> float:
-    """Acklam's rational approximation of the standard normal quantile."""
-    if not 0.0 < q < 1.0:
-        raise ValueError(f"quantile argument {q} outside (0, 1)")
-    # Coefficients for the central region approximation.
-    a = (-3.969683028665376e+01, 2.209460984245205e+02,
-         -2.759285104469687e+02, 1.383577518672690e+02,
-         -3.066479806614716e+01, 2.506628277459239e+00)
-    b = (-5.447609879822406e+01, 1.615858368580409e+02,
-         -1.556989798598866e+02, 6.680131188771972e+01,
-         -1.328068155288572e+01)
-    c = (-7.784894002430293e-03, -3.223964580411365e-01,
-         -2.400758277161838e+00, -2.549732539343734e+00,
-         4.374664141464968e+00, 2.938163982698783e+00)
-    d = (7.784695709041462e-03, 3.224671290700398e-01,
-         2.445134137142996e+00, 3.754408661907416e+00)
-    p_low, p_high = 0.02425, 1 - 0.02425
-    if q < p_low:
-        t = math.sqrt(-2 * math.log(q))
-        return (((((c[0] * t + c[1]) * t + c[2]) * t + c[3]) * t + c[4])
-                * t + c[5]) / ((((d[0] * t + d[1]) * t + d[2]) * t
-                                + d[3]) * t + 1)
-    if q > p_high:
-        t = math.sqrt(-2 * math.log(1 - q))
-        return -(((((c[0] * t + c[1]) * t + c[2]) * t + c[3]) * t + c[4])
-                 * t + c[5]) / ((((d[0] * t + d[1]) * t + d[2]) * t
-                                 + d[3]) * t + 1)
-    t = q - 0.5
-    r = t * t
-    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4])
-            * r + a[5]) * t / (((((b[0] * r + b[1]) * r + b[2]) * r
-                                 + b[3]) * r + b[4]) * r + 1)
 
 
 def failure_interval(counts: OutcomeCounts,
@@ -119,6 +102,5 @@ def sample_size_for(margin: float, worst_p: float = 0.5,
     """
     if not 0 < margin < 1:
         raise ValueError("margin must be a fraction in (0, 1)")
-    z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}.get(
-        round(confidence, 2), _normal_quantile(0.5 + confidence / 2))
+    z = z_value(confidence)
     return math.ceil(z * z * worst_p * (1 - worst_p) / (margin * margin))

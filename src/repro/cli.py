@@ -13,6 +13,8 @@ emulated, the fault location and duration, the observation points"
     python -m repro campaign --model bitflip --workers 4 --trace t.json \
         --metrics m.prom
     python -m repro campaign --model bitflip --pool ffs --prune-silent
+    python -m repro campaign --model bitflip --epsilon 0.05 --budget 3000
+    python -m repro campaign --model bitflip --strategy stratified
     python -m repro resume out.jsonl --workers 4
     python -m repro obs summarize t.json
     python -m repro lint --fail-on error --json findings.json
@@ -48,6 +50,27 @@ log = get_logger("repro.cli")
 
 def _parse_values(text: str) -> tuple:
     return tuple(int(token, 0) & 0xFF for token in text.split(","))
+
+
+def _add_planner_flags(command: argparse.ArgumentParser) -> None:
+    """Statistical campaign planner knobs (repro.faultload)."""
+    command.add_argument("--strategy",
+                         choices=("uniform", "stratified", "importance"),
+                         default="uniform",
+                         help="fault sampling strategy: the historical "
+                              "uniform draw, proportional per-stratum "
+                              "allocation, or SFA-cone importance "
+                              "weighting")
+    command.add_argument("--confidence", type=float, default=0.95,
+                         help="confidence level for stopping decisions "
+                              "and reported Wilson intervals")
+    command.add_argument("--epsilon", type=float, default=None,
+                         help="enable early stopping: halt once every "
+                              "outcome rate's Wilson interval is within "
+                              "±EPSILON (fraction, e.g. 0.05)")
+    command.add_argument("--budget", type=int, default=None,
+                         help="hard experiment cap for adaptive "
+                              "campaigns (default: --count)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -93,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="statically resolve provably-Silent "
                                "faults (repro.sfa) instead of emulating "
                                "them; outcome tallies are unchanged")
+    _add_planner_flags(campaign)
     campaign.add_argument("--workers", type=int, default=0,
                           help="parallel worker processes "
                                "(0 = in-process serial)")
@@ -151,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--prune-silent", action="store_true",
                         help="statically resolve provably-Silent faults "
                              "in every campaign of the report")
+    _add_planner_flags(report)
 
     lint = commands.add_parser(
         "lint", help="structural lint over bundled designs (repro.sfa)")
@@ -224,6 +249,24 @@ def _render_result(heading: str, result) -> None:
         console(f"statically resolved: {pruned} pruned (proven Silent), "
                 f"{collapsed} collapsed onto equivalence "
                 f"representatives; {result.emulated_count()} emulated")
+    stop = getattr(result, "stop", None)
+    if stop:
+        console(f"early stopping: {stop['reason']} after {stop['n']} "
+                f"experiments ({stop['checks']} checks, max half-width "
+                f"{100 * stop['half_width']:.2f} pts)")
+        for outcome in sorted(stop.get("intervals", {})):
+            successes, trials, low, high = stop["intervals"][outcome]
+            rate = 100.0 * successes / trials if trials else 0.0
+            console(f"  {outcome:<8} {rate:5.1f}% "
+                    f"[{100 * low:.1f}, {100 * high:.1f}]")
+    strata = getattr(result, "strata", None)
+    if strata:
+        console("per-stratum rates, % [low, high]:")
+        for row in strata:
+            cells = "  ".join(
+                f"{outcome} {rates[0]:.1f} [{rates[1]:.1f},{rates[2]:.1f}]"
+                for outcome, rates in sorted(row["rates"].items()))
+            console(f"  {row['stratum']:<28} n={row['n']:<5} {cells}")
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -255,17 +298,25 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
     evaluation.backend = args.backend
     evaluation.prune_silent = args.prune_silent
+    evaluation.strategy = args.strategy
+    evaluation.confidence = args.confidence
+    evaluation.epsilon = args.epsilon
+    evaluation.budget = args.budget
     model = FaultModel(args.model)
     spec = evaluation.spec(model, args.pool, band=args.band,
                            count=args.count, oscillate=args.oscillate,
                            mechanism=args.mechanism)
+    adaptive = (args.strategy != "uniform" or args.epsilon is not None
+                or args.budget is not None)
     engine_requested = (args.workers > 0 or args.journal is not None
                         or args.trace is not None
-                        or args.profile is not None)
+                        or args.profile is not None
+                        or adaptive)
     if engine_requested and args.tool != "fades":
-        log.error("--workers/--journal/--trace/--profile need --tool "
-                  "fades (the runtime engine drives FADES campaigns "
-                  "only)")
+        log.error("--workers/--journal/--trace/--profile and the "
+                  "planner flags (--strategy/--epsilon/--budget) need "
+                  "--tool fades (the runtime engine drives FADES "
+                  "campaigns only)")
         return 1
     if engine_requested:
         from .runtime import CampaignJobSpec, run_campaign
@@ -274,7 +325,8 @@ def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
         result = run_campaign(jobspec, workers=args.workers,
                               journal=args.journal,
                               trace=args.trace, profile=args.profile,
-                              progress=_progress_printer(args.count))
+                              progress=_progress_printer(
+                                  jobspec.effective_budget()))
         if args.trace:
             log.info("trace written to %s", args.trace)
     else:
@@ -286,7 +338,8 @@ def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
         f"{args.tool.upper()} | {model.value} @ {args.pool} | "
         f"duration {BAND_LABELS[args.band]} cycles "
         f"({DURATION_BANDS[args.band][0]:g}-"
-        f"{DURATION_BANDS[args.band][1]:g}) | n={args.count}", result)
+        f"{DURATION_BANDS[args.band][1]:g}) | "
+        f"n={len(result.experiments)}", result)
     return 0
 
 
@@ -295,8 +348,13 @@ def cmd_resume(args: argparse.Namespace) -> int:
     state = read_journal(args.journal)
     pending = "?"
     if state.header is not None:
-        pending = state.jobspec.spec.count - len(
-            state.done_indices(state.jobspec.spec.count))
+        # An adaptive journal with a stop line is done at the achieved
+        # n; otherwise the (effective) budget bounds the campaign.
+        target = state.jobspec.effective_budget()
+        if state.stop is not None and isinstance(state.stop.get("n"),
+                                                 int):
+            target = state.stop["n"]
+        pending = target - len(state.done_indices(target))
         log.info("resuming %s | %d journaled, %s pending",
                  state.jobspec.display_label(), len(state.records),
                  pending)
@@ -364,6 +422,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             evaluation.workers = args.workers
             evaluation.backend = args.backend
             evaluation.prune_silent = args.prune_silent
+            evaluation.strategy = args.strategy
+            evaluation.confidence = args.confidence
+            evaluation.epsilon = args.epsilon
+            evaluation.budget = args.budget
             console(full_report(evaluation, count=args.count))
             return 0
         if args.command == "run-spec":

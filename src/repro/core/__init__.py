@@ -32,7 +32,9 @@ from .config_seu import (CONFIG_PLANES, ConfigBit, ConfigSeuReport,
                          config_seu_fault, occupied_frames, plane_bits,
                          random_config_bit, run_config_seu_campaign,
                          used_route_bit)
-from .config import FaultLoadSpec, generate_faultload, pool_size
+from .config import (FaultLoadSpec, candidate_targets, finish_fault,
+                     generate_faultload, iter_faultload, pool_size,
+                     pool_targets)
 from .faults import (BAND_LABELS, DURATION_BANDS, Fault, FaultModel, Target,
                      TargetKind, band_label)
 from .injector import FadesInjector, invert_lut_line, stuck_lut_line
@@ -84,8 +86,12 @@ __all__ = [
     "OutcomeCounts",
     "classify",
     "FaultLoadSpec",
+    "candidate_targets",
+    "finish_fault",
     "generate_faultload",
+    "iter_faultload",
     "pool_size",
+    "pool_targets",
     "BAND_LABELS",
     "DURATION_BANDS",
     "Fault",

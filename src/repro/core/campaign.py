@@ -68,6 +68,14 @@ class CampaignResult:
     experiments: List[ExperimentResult] = field(default_factory=list)
     mean_emulation_s: float = 0.0
     total_emulation_s: float = 0.0
+    #: Stopping decision of an adaptive campaign (reason, achieved n,
+    #: Wilson intervals — see :mod:`repro.faultload.sequential`); None
+    #: for fixed-budget campaigns.
+    stop: Optional[Dict] = None
+    #: Per-stratum rate table of an adaptive campaign
+    #: (:func:`repro.faultload.strata.summarize_strata`); None when the
+    #: statistical planner was not engaged.
+    strata: Optional[List[Dict]] = None
 
     def counts(self) -> OutcomeCounts:
         """Failure/Latent/Silent tally."""

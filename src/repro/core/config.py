@@ -13,9 +13,10 @@ instants "uniformly distributed along the workload duration" (section 6.1).
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..errors import InjectionError, LocationError
 from ..synth.locmap import LocationMap
@@ -54,9 +55,12 @@ class FaultLoadSpec:
         return f"{self.model.value}/{self.pool}/{self.duration_range}"
 
 
-def _pool_targets(spec: FaultLoadSpec, locmap: LocationMap,
-                  rng: random.Random) -> List[Target]:
-    """Enumerate the candidate targets of a spec's location pool."""
+def pool_targets(spec: FaultLoadSpec, locmap: LocationMap) -> List[Target]:
+    """Enumerate the candidate targets of a spec's location pool.
+
+    The enumeration order is deterministic (it follows the placed
+    netlist), which is what makes seed-derived sampling reproducible.
+    """
     parts = spec.pool.split(":")
     kind = parts[0]
     if kind == "ffs":
@@ -104,7 +108,67 @@ def _pool_targets(spec: FaultLoadSpec, locmap: LocationMap,
 
 def pool_size(spec: FaultLoadSpec, locmap: LocationMap) -> int:
     """Number of candidate locations the fault-location process analyses."""
-    return len(_pool_targets(spec, locmap, random.Random(0)))
+    return len(pool_targets(spec, locmap))
+
+
+def candidate_targets(spec: FaultLoadSpec, locmap: LocationMap,
+                      routed_nets=None) -> List[Target]:
+    """The location pool after routing-aware filtering.
+
+    ``routed_nets`` (a predicate) filters net targets down to lines that
+    actually exist in the routed design — a packed FF's D line, for
+    example, cannot carry a delay fault.
+    """
+    targets = pool_targets(spec, locmap)
+    if spec.model is FaultModel.DELAY and routed_nets is not None:
+        targets = [t for t in targets if routed_nets(t.index)]
+    if not targets:
+        raise LocationError(
+            f"location pool {spec.pool!r} is empty after implementation")
+    return targets
+
+
+def finish_fault(spec: FaultLoadSpec, target: Target,
+                 rng: random.Random) -> Fault:
+    """Draw the per-fault attributes (duration, instant, magnitude…).
+
+    The draw order — duration, start cycle, magnitude, value, phase — is
+    a compatibility contract: journals and tests pin faultloads by seed,
+    so any reordering changes every campaign ever generated.
+    """
+    lo, hi = spec.duration_range
+    duration = rng.uniform(lo, hi)
+    start = rng.randrange(max(1, spec.workload_cycles))
+    magnitude = rng.uniform(*spec.magnitude_range_ns)
+    value = rng.randrange(2) \
+        if spec.model is FaultModel.INDETERMINATION else None
+    return Fault(
+        model=spec.model,
+        target=target,
+        start_cycle=start,
+        duration_cycles=duration,
+        phase=rng.random(),
+        value=value,
+        magnitude_ns=magnitude,
+        mechanism=spec.mechanism,
+        oscillate=spec.oscillate,
+    )
+
+
+def iter_faultload(spec: FaultLoadSpec, locmap: LocationMap,
+                   seed: int = 0,
+                   routed_nets=None) -> Iterator[Fault]:
+    """Unbounded uniform-random fault stream for one experiment class.
+
+    Yields the same sequence :func:`generate_faultload` materialises,
+    without an upper bound — the runtime engine consumes only as many
+    faults as its stopping rule demands.
+    """
+    rng = random.Random(seed)
+    targets = candidate_targets(spec, locmap, routed_nets)
+    while True:
+        target = rng.choice(targets)
+        yield finish_fault(spec, target, rng)
 
 
 def generate_faultload(spec: FaultLoadSpec, locmap: LocationMap,
@@ -116,31 +180,5 @@ def generate_faultload(spec: FaultLoadSpec, locmap: LocationMap,
     actually exist in the routed design — a packed FF's D line, for
     example, cannot carry a delay fault.
     """
-    rng = random.Random(seed)
-    targets = _pool_targets(spec, locmap, rng)
-    if spec.model is FaultModel.DELAY and routed_nets is not None:
-        targets = [t for t in targets if routed_nets(t.index)]
-    if not targets:
-        raise LocationError(
-            f"location pool {spec.pool!r} is empty after implementation")
-    faults: List[Fault] = []
-    lo, hi = spec.duration_range
-    for _ in range(spec.count):
-        target = rng.choice(targets)
-        duration = rng.uniform(lo, hi)
-        start = rng.randrange(max(1, spec.workload_cycles))
-        magnitude = rng.uniform(*spec.magnitude_range_ns)
-        value = rng.randrange(2) \
-            if spec.model is FaultModel.INDETERMINATION else None
-        faults.append(Fault(
-            model=spec.model,
-            target=target,
-            start_cycle=start,
-            duration_cycles=duration,
-            phase=rng.random(),
-            value=value,
-            magnitude_ns=magnitude,
-            mechanism=spec.mechanism,
-            oscillate=spec.oscillate,
-        ))
-    return faults
+    return list(itertools.islice(
+        iter_faultload(spec, locmap, seed, routed_nets), spec.count))

@@ -1,0 +1,172 @@
+"""Confidence-driven early stopping for fault-injection campaigns.
+
+A fixed 3000-fault campaign (the paper's table 2 setting) keeps paying
+for experiments long after the outcome rates have converged.  The
+controller here implements the alternative: keep sampling until the
+Wilson interval on **each** tracked outcome rate (Failure / Latent /
+Silent) has half-width at most ``epsilon``, with a hard ``budget`` cap.
+
+Anytime validity under batching
+-------------------------------
+Peeking at a confidence interval after every batch and stopping the
+first time it looks narrow is the classic sequential-testing trap: each
+peek is another chance to stop on noise, so the realised coverage of
+the reported interval drops below the nominal level.  The controller
+therefore
+
+* checks only at a fixed, geometrically-spaced schedule of sample
+  sizes (:meth:`SequentialController.checkpoints`), known up front from
+  ``(initial, growth, budget)`` alone — serial, sharded and resumed
+  runs see the identical schedule and hence stop at the identical
+  experiment count; and
+* makes each *stopping decision* at a Bonferroni-corrected confidence
+  ``1 - (1 - confidence) / k`` over the ``k`` scheduled checks, a
+  union bound guaranteeing that the probability any of the ``k``
+  looks produced a spuriously-narrow interval stays below
+  ``1 - confidence``.
+
+The *reported* intervals (:attr:`StopDecision.intervals`) use the
+plain, uncorrected confidence — they describe the estimate at the point
+the campaign stopped, the correction only guards the decision to stop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.classify import OutcomeCounts
+from ..obs import metrics as obs_metrics
+
+_CHECKS = obs_metrics.counter(
+    "stopping_rule_checks_total",
+    "Stopping-rule evaluations, by decision.")
+
+#: The outcome rates a campaign's stopping rule tracks.
+TRACKED_OUTCOMES = ("failure", "latent", "silent")
+
+
+@dataclass(frozen=True)
+class StopDecision:
+    """One stopping-rule evaluation.
+
+    ``intervals`` maps outcome -> ``(successes, trials, low, high)`` at
+    the user's (uncorrected) confidence; ``half_width`` is the largest
+    half-width among the tracked outcomes at the *decision* confidence,
+    the quantity compared against epsilon.
+    """
+
+    stop: bool
+    reason: str  # "converged" | "budget" | "" (keep sampling)
+    n: int
+    checks: int
+    half_width: float
+    intervals: Dict[str, List[float]]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for the journal's stop line."""
+        return {"reason": self.reason, "n": self.n,
+                "checks": self.checks,
+                "half_width": round(self.half_width, 6),
+                "intervals": {outcome: list(values) for outcome, values
+                              in self.intervals.items()}}
+
+
+def plan_checkpoints(budget: int, initial: int = 100,
+                     growth: float = 1.5) -> List[int]:
+    """Geometric check schedule ending exactly at the budget.
+
+    Geometric spacing keeps the Bonferroni factor small (k grows
+    logarithmically with the budget) while still checking early enough
+    to realise most of the possible savings.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be positive, got {budget}")
+    points: List[int] = []
+    mark = float(max(1, min(initial, budget)))
+    while int(mark) < budget:
+        points.append(int(mark))
+        mark = max(mark * growth, mark + 1)
+    points.append(budget)
+    return points
+
+
+class SequentialController:
+    """Wilson-interval stopping rule over a scheduled sequence of looks.
+
+    Pure function of its constructor arguments: feeding it the same
+    outcome tallies at the same checkpoints always yields the same
+    decisions, which is what lets sharded and resumed campaigns stop at
+    the same experiment as a serial run.
+    """
+
+    def __init__(self, epsilon: float, budget: int,
+                 confidence: float = 0.95,
+                 initial: int = 100, growth: float = 1.5):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {confidence}")
+        self.epsilon = epsilon
+        self.budget = budget
+        self.confidence = confidence
+        self._checkpoints = plan_checkpoints(budget, initial, growth)
+        # Union bound over the scheduled looks: each look spends an
+        # equal share of the allowed miscoverage.
+        self.decision_confidence = \
+            1.0 - (1.0 - confidence) / len(self._checkpoints)
+        self.checks = 0
+
+    def checkpoints(self) -> List[int]:
+        """Sample sizes at which the rule is evaluated (ends at budget)."""
+        return list(self._checkpoints)
+
+    def check(self, counts: OutcomeCounts, n: int) -> StopDecision:
+        """Evaluate the rule after *n* completed experiments.
+
+        ``counts`` must tally exactly the first *n* fault indices —
+        the engine only calls this at batch barriers where the record
+        prefix is complete, keeping decisions order-independent.
+        """
+        from ..analysis.stats import wilson  # local: avoid import cycle
+
+        self.checks += 1
+        per_outcome = {"failure": counts.failure, "latent": counts.latent,
+                       "silent": counts.silent}
+        half_width = max(
+            (interval.high - interval.low) / 2.0
+            for interval in (wilson(successes, n,
+                                    self.decision_confidence)
+                             for successes in per_outcome.values()))
+        converged = half_width <= self.epsilon
+        if converged:
+            reason = "converged"
+        elif n >= self.budget:
+            reason = "budget"
+        else:
+            reason = ""
+        _CHECKS.inc(decision=reason or "continue")
+        intervals = {
+            outcome: [successes, n,
+                      round(wilson(successes, n, self.confidence).low, 6),
+                      round(wilson(successes, n, self.confidence).high, 6)]
+            for outcome, successes in per_outcome.items()}
+        return StopDecision(stop=bool(reason), reason=reason, n=n,
+                            checks=self.checks, half_width=half_width,
+                            intervals=intervals)
+
+
+def tally_prefix(records: Dict[int, Dict[str, object]],
+                 n: int) -> Optional[OutcomeCounts]:
+    """Outcome tally over fault indices ``0..n-1``; ``None`` if any
+    index lacks a record (the prefix is not yet complete)."""
+    from ..core.classify import Outcome
+
+    counts = OutcomeCounts()
+    for index in range(n):
+        record = records.get(index)
+        if record is None:
+            return None
+        counts.add(Outcome(record["outcome"]))
+    return counts

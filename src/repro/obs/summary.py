@@ -2,8 +2,8 @@
 
 Turns a raw span stream back into the tables the paper reasons with:
 
-* an **engine phase** table (setup / golden / prune / experiments /
-  aggregate)
+* an **engine phase** table (setup / plan / golden / prune /
+  experiments / aggregate)
   whose rows partition the parent process's campaign wall-clock — with
   ``--workers 4`` these still sum to the wall time, because they are
   measured in the parent;
@@ -28,7 +28,8 @@ from typing import Dict, List, Optional
 from .tracing import PARENT_TID
 
 #: Engine phases in execution order (children of the ``campaign`` span).
-ENGINE_PHASES = ("setup", "golden", "prune", "experiments", "aggregate")
+ENGINE_PHASES = ("setup", "plan", "golden", "prune", "experiments",
+                 "aggregate")
 
 #: Experiment phases in execution order (children of ``experiment``).
 EXPERIMENT_PHASES = ("reconfigure", "run", "readback", "classify")

@@ -14,6 +14,13 @@ this subsystem makes the reproduction's campaigns fast *and durable*:
 * :mod:`repro.runtime.engine` — the public API:
   :func:`~repro.runtime.engine.run_campaign` and
   :func:`~repro.runtime.engine.resume_campaign`.
+
+The engine dispatches incrementally: shard batches stream through a
+persistent worker pool with a statistical stopping controller
+(:mod:`repro.faultload`) consulted at batch barriers, so adaptive
+campaigns stop as soon as their confidence target is met.  Fixed-budget
+campaigns are the degenerate single-batch schedule and behave exactly
+as they always have.
 """
 
 from .engine import resume_campaign, run_campaign

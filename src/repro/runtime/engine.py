@@ -28,6 +28,9 @@ from ..core.campaign import CampaignResult
 from ..core.classify import Outcome
 from ..core.faults import Fault
 from ..errors import JournalError, ObservabilityError
+from ..faultload import (FaultStream, SequentialController, StopDecision,
+                         summarize_strata, tally_prefix)
+from ..obs import metrics as obs_metrics
 from ..obs.profile import PhaseProfiler, maybe_profile
 from ..obs.tracing import PARENT_TID, TRACER, TraceWriter, span
 from .jobspec import (CampaignJobSpec, JobRunner, build_campaign,
@@ -35,6 +38,10 @@ from .jobspec import (CampaignJobSpec, JobRunner, build_campaign,
 from .journal import JournalWriter, check_compatible, read_journal
 from .metrics import CampaignMetrics, ProgressCallback
 from .scheduler import WorkerPool, plan_shards
+
+_SAVED = obs_metrics.counter(
+    "experiments_saved_total",
+    "Experiments the statistical planner never emulated, by reason.")
 
 
 def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
@@ -89,12 +96,25 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
     metrics = CampaignMetrics(progress=progress,
                               progress_interval=progress_interval,
                               backend=jobspec.backend)
+    budget = jobspec.effective_budget()
+    cycles = jobspec.spec.workload_cycles
     with metrics.phase("setup"), maybe_profile(profiler, "setup"):
         campaign = build_campaign(jobspec)
-        faults: List[Fault] = generate_faultload(
-            jobspec.spec, campaign.locmap,
-            seed=jobspec.effective_faultload_seed(),
-            routed_nets=campaign.impl.routing.is_routed)
+        stream: Optional[FaultStream] = None
+        if jobspec.adaptive:
+            # Faults materialise window by window (stream.ensure); the
+            # list below grows in place as the campaign extends.
+            stream = FaultStream(
+                jobspec.spec, campaign.locmap,
+                seed=jobspec.effective_faultload_seed(),
+                routed_nets=campaign.impl.routing.is_routed,
+                strategy=jobspec.strategy)
+            faults: List[Fault] = stream.faults
+        else:
+            faults = generate_faultload(
+                jobspec.spec, campaign.locmap,
+                seed=jobspec.effective_faultload_seed(),
+                routed_nets=campaign.impl.routing.is_routed)
         pool = pool_size(jobspec.spec, campaign.locmap)
 
         records: Dict[int, Dict] = {}
@@ -102,13 +122,25 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
         if journal is not None:
             state = read_journal(journal)
             check_compatible(state, jobspec, journal)
-            records.update(state.done_indices(len(faults)))
+            records.update(state.done_indices(budget))
             writer = JournalWriter(journal, jobspec, state=state)
 
-    metrics.set_total(len(faults), skipped=len(records))
+    # The dispatch schedule: windows between stopping-rule checkpoints.
+    # A fixed-budget campaign is the degenerate single-window schedule,
+    # which reduces this function to its historical one-shot behaviour.
+    controller: Optional[SequentialController] = None
+    if jobspec.epsilon is not None:
+        with metrics.phase("plan"), maybe_profile(profiler, "plan"):
+            controller = SequentialController(
+                jobspec.epsilon, budget, confidence=jobspec.confidence)
+    checkpoints = controller.checkpoints() if controller is not None \
+        else [budget]
+
+    metrics.set_total(budget, skipped=len(records),
+                      exact=controller is None)
 
     with metrics.phase("golden"), maybe_profile(profiler, "golden"):
-        golden = campaign.golden_run(jobspec.spec.workload_cycles)
+        golden = campaign.golden_run(cycles)
 
     def take(batch: List[Dict]) -> None:
         for record in batch:
@@ -123,54 +155,152 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
     # seed-derived), so resumed campaigns recompute the identical plan
     # and skip whatever of it is already journaled.  Unlike the serial
     # path, every engine experiment re-seeds the injector per fault
-    # index, so no RNG-stream restriction is needed.
+    # index, so no RNG-stream restriction is needed.  Under early
+    # stopping the plan is recomputed per window, with the window's
+    # local indices translated onto the campaign's.
     collapsed: Dict[int, int] = {}
-    if jobspec.prune_silent:
-        with metrics.phase("prune"), maybe_profile(profiler, "prune"):
-            plan = campaign.static_plan(faults,
-                                        jobspec.spec.workload_cycles)
-            collapsed = plan.collapsed
-            take([_pruned_record(index) for index in sorted(plan.pruned)
-                  if index not in records])
 
-    pending = [index for index in range(len(faults))
-               if index not in records and index not in collapsed]
+    def prepare_window(start: int, end: int) -> List[int]:
+        """Materialise, prune and plan one window; pending indices."""
+        if stream is not None and len(stream) < end:
+            with metrics.phase("plan"), maybe_profile(profiler, "plan"):
+                stream.ensure(end)
+        if jobspec.prune_silent:
+            with metrics.phase("prune"), maybe_profile(profiler,
+                                                       "prune"):
+                plan = campaign.static_plan(faults[start:end], cycles)
+                for member, representative in plan.collapsed.items():
+                    collapsed[start + member] = start + representative
+                take([_pruned_record(start + index)
+                      for index in sorted(plan.pruned)
+                      if start + index not in records])
+        return [index for index in range(start, end)
+                if index not in records and index not in collapsed]
 
+    def attribute(start: int, end: int) -> None:
+        """Collapsed-fault attribution: every representative of the
+        drained window has a record by now (journaled earlier or
+        emulated above)."""
+        take([_collapsed_record(member, representative,
+                                records[representative])
+              for member, representative in sorted(collapsed.items())
+              if start <= member < end and member not in records])
+
+    stop_decision: Optional[StopDecision] = None
+
+    def check_stop(n: int) -> bool:
+        """Evaluate the stopping rule over the complete prefix 0..n-1.
+
+        Called only at batch barriers, so the tally — and therefore the
+        stopping point — is identical for serial, sharded and resumed
+        executions of the same job spec.
+        """
+        nonlocal stop_decision
+        if controller is None or stop_decision is not None:
+            return stop_decision is not None
+        counts = tally_prefix(records, n)
+        if counts is None:
+            raise JournalError(
+                f"stopping rule consulted on an incomplete prefix "
+                f"(n={n})")
+        decision = controller.check(counts, n)
+        if decision.stop:
+            stop_decision = decision
+        return decision.stop
+
+    executed = 0  # end of the last window handed to the executor
     try:
-        with metrics.phase("experiments"), \
-                maybe_profile(profiler, "experiments"):
-            if workers <= 0:
-                runner = JobRunner(jobspec, campaign=campaign,
-                                   faults=faults, pool=pool)
-                # Chunk at the backend's batch size so the compiled
-                # backend fills whole lane batches (reference: size 1).
-                size = max(1, runner.batch_size())
-                for offset in range(0, len(pending), size):
-                    take(runner.run_indices(pending[offset:offset + size]))
-            elif pending:
-                worker_pool = WorkerPool(
-                    jobspec, workers=workers, max_retries=max_retries,
-                    on_retry=lambda _shard: metrics.add_retry(),
-                    trace=trace_writer is not None)
-                on_spans = (None if trace_writer is None else
-                            lambda _worker_id, spans:
-                            trace_writer.write(spans))
-                worker_pool.run(plan_shards(pending, workers, shard_size),
-                                lambda _shard, batch: take(batch),
-                                on_spans=on_spans)
-            if collapsed:
-                # Attribution: every representative has a record by now
-                # (journaled earlier or emulated above).
-                take([_collapsed_record(member, representative,
-                                        records[representative])
-                      for member, representative
-                      in sorted(collapsed.items())
-                      if member not in records])
+        if workers <= 0:
+            runner = JobRunner(jobspec, campaign=campaign,
+                               faults=faults, pool=pool)
+            # Chunk at the backend's batch size so the compiled
+            # backend fills whole lane batches (reference: size 1).
+            size = max(1, runner.batch_size())
+            start = 0
+            for end in checkpoints:
+                pending = prepare_window(start, end)
+                with metrics.phase("experiments"), \
+                        maybe_profile(profiler, "experiments"):
+                    for offset in range(0, len(pending), size):
+                        take(runner.run_indices(
+                            pending[offset:offset + size]))
+                    attribute(start, end)
+                executed = end
+                if check_stop(end):
+                    break
+                start = end
+        else:
+            worker_pool = WorkerPool(
+                jobspec, workers=workers, max_retries=max_retries,
+                on_retry=lambda _shard: metrics.add_retry(),
+                trace=trace_writer is not None)
+            on_spans = (None if trace_writer is None else
+                        lambda _worker_id, spans:
+                        trace_writer.write(spans))
+            bounds = [0] + checkpoints
+            # Window 0 is prepared eagerly, outside the experiments
+            # phase, so the fixed-budget path keeps its historical
+            # setup/golden/prune/experiments phase sequence; later
+            # windows are prepared at the batch barrier inside the
+            # experiments phase.
+            first_pending = prepare_window(bounds[0], bounds[1])
+
+            def batches():
+                """Shard-batch stream; each pull is a batch barrier.
+
+                The worker pool fully drains window *w* before pulling
+                window *w+1*, so the attribution and stopping check at
+                the top of each iteration always see a complete record
+                prefix.
+                """
+                nonlocal executed
+                next_shard_id = 0
+                for window in range(len(checkpoints)):
+                    start, end = bounds[window], bounds[window + 1]
+                    if window > 0:
+                        attribute(bounds[window - 1], start)
+                        if check_stop(start):
+                            return
+                        pending = prepare_window(start, end)
+                    else:
+                        pending = first_pending
+                    shards = plan_shards(pending, workers, shard_size,
+                                         first_id=next_shard_id)
+                    next_shard_id += len(shards)
+                    executed = end
+                    yield shards
+
+            with metrics.phase("experiments"), \
+                    maybe_profile(profiler, "experiments"):
+                worker_pool.run_batches(
+                    batches(), lambda _shard, batch: take(batch),
+                    on_spans=on_spans)
+                if executed:
+                    attribute(bounds[checkpoints.index(executed)],
+                              executed)
+                check_stop(executed)
+
+        final = stop_decision.n if stop_decision is not None else budget
+        if controller is not None:
+            metrics.resolve_total(final)
+            saved = budget - final
+            if saved > 0 and stop_decision is not None:
+                _SAVED.inc(saved, reason=stop_decision.reason)
 
         with metrics.phase("aggregate"), \
                 maybe_profile(profiler, "aggregate"):
-            result = _assemble(jobspec, golden, faults, records)
+            result = _assemble(jobspec, golden, faults[:final], records)
+            if stop_decision is not None:
+                result.stop = stop_decision.to_dict()
+            if stream is not None:
+                result.strata = summarize_strata(
+                    stream.tags[:final],
+                    {index: record["outcome"]
+                     for index, record in records.items()},
+                    confidence=jobspec.confidence)
         if writer is not None:
+            if stop_decision is not None:
+                writer.append_stop(stop_decision.to_dict())
             writer.append_summary(result.counts(),
                                   result.total_emulation_s,
                                   metrics.snapshot().wall_s)

@@ -67,6 +67,15 @@ class CampaignJobSpec:
     #: Let :mod:`repro.sfa` resolve provably Silent faults statically
     #: and collapse equivalent faults onto one representative.
     prune_silent: bool = False
+    #: Statistical campaign planning (:mod:`repro.faultload`).  The
+    #: defaults describe the historical fixed-budget behaviour: uniform
+    #: sampling, ``spec.count`` experiments, no stopping rule.
+    strategy: str = "uniform"
+    confidence: float = 0.95
+    #: Target Wilson half-width; ``None`` disables early stopping.
+    epsilon: Optional[float] = None
+    #: Hard experiment cap for adaptive campaigns (``None`` -> count).
+    budget: Optional[int] = None
 
     @classmethod
     def from_evaluation(cls, evaluation, spec: FaultLoadSpec,
@@ -78,11 +87,27 @@ class CampaignJobSpec:
                    label=label or spec.label(),
                    backend=getattr(evaluation, "backend", "reference"),
                    prune_silent=getattr(evaluation, "prune_silent",
-                                        False))
+                                        False),
+                   strategy=getattr(evaluation, "strategy", "uniform"),
+                   confidence=getattr(evaluation, "confidence", 0.95),
+                   epsilon=getattr(evaluation, "epsilon", None),
+                   budget=getattr(evaluation, "budget", None))
 
     def effective_faultload_seed(self) -> int:
         return self.seed if self.faultload_seed is None else \
             self.faultload_seed
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether this campaign uses the statistical planner at all
+        (non-uniform sampling, a stopping rule, or an explicit budget).
+        """
+        return (self.strategy != "uniform" or self.epsilon is not None
+                or self.budget is not None)
+
+    def effective_budget(self) -> int:
+        """Upper bound on the number of experiments this campaign runs."""
+        return self.spec.count if self.budget is None else self.budget
 
     def display_label(self) -> str:
         return self.label or self.spec.label()
@@ -117,6 +142,15 @@ class CampaignJobSpec:
             # Only serialised when set: journals written before the
             # static-analysis era must keep resuming byte-compatibly.
             data["prune_silent"] = True
+        if self.adaptive:
+            # Same rule for the statistical planner: a fixed-budget
+            # uniform campaign serialises exactly as it always has.
+            data["strategy"] = self.strategy
+            data["confidence"] = self.confidence
+            if self.epsilon is not None:
+                data["epsilon"] = self.epsilon
+            if self.budget is not None:
+                data["budget"] = self.budget
         return data
 
     @classmethod
@@ -146,7 +180,17 @@ class CampaignJobSpec:
                                     DEFAULT_CHECKPOINT_INTERVAL)),
                        label=data.get("label", ""),
                        backend=data.get("backend", "reference"),
-                       prune_silent=bool(data.get("prune_silent", False)))
+                       prune_silent=bool(data.get("prune_silent", False)),
+                       # Absent in pre-planner journals: fixed-budget
+                       # uniform behaviour, exactly as recorded.
+                       strategy=data.get("strategy", "uniform"),
+                       confidence=float(data.get("confidence", 0.95)),
+                       epsilon=(float(data["epsilon"])
+                                if data.get("epsilon") is not None
+                                else None),
+                       budget=(int(data["budget"])
+                               if data.get("budget") is not None
+                               else None))
         except (KeyError, TypeError, ValueError) as error:
             raise JournalError(f"malformed job spec: {error}") from error
 
@@ -191,13 +235,39 @@ class JobRunner:
         self.jobspec = jobspec
         self.campaign = campaign if campaign is not None \
             else build_campaign(jobspec)
-        self.faults: List[Fault] = list(faults) if faults is not None \
-            else generate_faultload(
+        if faults is not None:
+            # Lists are aliased, not copied: the engine's adaptive path
+            # hands the runner a faultload that still grows as the
+            # stopping controller extends the campaign.
+            self.faults: List[Fault] = faults if isinstance(faults, list) \
+                else list(faults)
+        else:
+            self.faults = self._regenerate_faults()
+        self.pool = pool if pool is not None \
+            else pool_size(jobspec.spec, self.campaign.locmap)
+
+    def _regenerate_faults(self) -> List[Fault]:
+        """Re-derive the faultload this process was not handed.
+
+        Workers rebuild the exact sequence the parent planned from:
+        the historical uniform draw for fixed campaigns, the planner's
+        :class:`~repro.faultload.strata.FaultStream` (materialised out
+        to the budget — fault descriptors are cheap, experiments are
+        not) for adaptive ones.
+        """
+        jobspec = self.jobspec
+        if not jobspec.adaptive:
+            return generate_faultload(
                 jobspec.spec, self.campaign.locmap,
                 seed=jobspec.effective_faultload_seed(),
                 routed_nets=self.campaign.impl.routing.is_routed)
-        self.pool = pool if pool is not None \
-            else pool_size(jobspec.spec, self.campaign.locmap)
+        from ..faultload import FaultStream  # local: avoid import cycle
+        stream = FaultStream(
+            jobspec.spec, self.campaign.locmap,
+            seed=jobspec.effective_faultload_seed(),
+            routed_nets=self.campaign.impl.routing.is_routed,
+            strategy=jobspec.strategy)
+        return stream.ensure(jobspec.effective_budget())
 
     def run_index(self, index: int) -> Dict:
         """Run one experiment and return its journal record."""

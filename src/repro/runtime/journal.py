@@ -40,6 +40,9 @@ class JournalState:
     header: Optional[Dict] = None
     records: Dict[int, Dict] = field(default_factory=dict)
     summary: Optional[Dict] = None
+    #: Early-stopping decision of an adaptive campaign (latest wins):
+    #: stop reason, experiment count and achieved confidence intervals.
+    stop: Optional[Dict] = None
     dropped_lines: int = 0
 
     @property
@@ -84,6 +87,8 @@ def read_journal(path: str) -> JournalState:
                     state.records[index] = entry
             elif kind == "summary":
                 state.summary = entry
+            elif kind == "stop":
+                state.stop = entry
             else:
                 state.dropped_lines += 1
     return state
@@ -125,6 +130,18 @@ class JournalWriter:
     def append_record(self, record: Dict) -> None:
         entry = dict(record)
         entry["type"] = "record"
+        self._append(entry)
+
+    def append_stop(self, decision: Dict) -> None:
+        """Record an adaptive campaign's stopping decision.
+
+        Written before the summary so a resumed early-stopped campaign
+        knows the achieved sample size without replaying the stopping
+        rule; informational for fixed-budget readers (old journals
+        simply never contain one).
+        """
+        entry = dict(decision)
+        entry["type"] = "stop"
         self._append(entry)
 
     def append_summary(self, counts, total_emulation_s: float,

@@ -41,6 +41,10 @@ class MetricsSnapshot:
     """Point-in-time view of a running (or finished) campaign."""
 
     total: int = 0
+    #: Whether ``total`` is exact.  Adaptive campaigns only know an
+    #: upper bound until their stopping rule fires, so percentages and
+    #: ETAs projected against it would be misleading.
+    total_exact: bool = True
     completed: int = 0
     skipped: int = 0
     retries: int = 0
@@ -64,10 +68,15 @@ class MetricsSnapshot:
         """Projected host seconds until the campaign drains.
 
         ``None`` when nothing has completed yet (zero throughput gives
-        no basis for a projection); ``0.0`` once nothing is pending.
+        no basis for a projection) or while the total is only an upper
+        bound (early stopping may fire at any checkpoint — projecting
+        to the budget would overstate the remaining work); ``0.0`` once
+        nothing is pending.
         """
         if self.pending <= 0:
             return 0.0
+        if not self.total_exact:
+            return None
         rate = self.throughput
         if rate <= 0.0:
             return None
@@ -75,7 +84,8 @@ class MetricsSnapshot:
 
     def render(self) -> str:
         done = self.skipped + self.completed
-        line = (f"[{done}/{self.total}] "
+        bound = self.total if self.total_exact else f"<={self.total}"
+        line = (f"[{done}/{bound}] "
                 f"{self.throughput:.1f} exp/s | "
                 f"emulated {self.emulated_s:.1f} s")
         if self.skipped:
@@ -108,15 +118,25 @@ class CampaignMetrics:
         self._started = clock()
         self._phase_wall: Dict[str, float] = {}
         self.total = 0
+        self.total_exact = True
         self.completed = 0
         self.skipped = 0
         self.retries = 0
         self.emulated_s = 0.0
 
     # -- lifecycle -----------------------------------------------------
-    def set_total(self, total: int, skipped: int = 0) -> None:
+    def set_total(self, total: int, skipped: int = 0,
+                  exact: bool = True) -> None:
+        """Declare the campaign size; ``exact=False`` marks it a budget
+        cap the stopping rule may undercut."""
         self.total = total
+        self.total_exact = exact
         self.skipped = skipped
+
+    def resolve_total(self, total: int) -> None:
+        """Pin the final campaign size once the stopping rule fires."""
+        self.total = total
+        self.total_exact = True
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -160,6 +180,7 @@ class CampaignMetrics:
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot(
             total=self.total,
+            total_exact=self.total_exact,
             completed=self.completed,
             skipped=self.skipped,
             retries=self.retries,

@@ -39,7 +39,8 @@ import traceback
 from multiprocessing import connection as mp_connection
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from ..errors import SchedulerError
 from ..obs.metrics import REGISTRY
@@ -72,11 +73,14 @@ class Shard:
 
 
 def plan_shards(indices: Sequence[int], workers: int,
-                shard_size: Optional[int] = None) -> List[Shard]:
+                shard_size: Optional[int] = None,
+                first_id: int = 0) -> List[Shard]:
     """Split pending fault indices into shards.
 
     The default size targets ~4 shards per worker (load balance against
     stragglers) capped at :data:`MAX_SHARD_SIZE` (journal granularity).
+    ``first_id`` offsets the shard ids so successive batches of one
+    streamed campaign stay uniquely identified.
     """
     if not indices:
         return []
@@ -84,7 +88,7 @@ def plan_shards(indices: Sequence[int], workers: int,
         per_worker = -(-len(indices) // (max(1, workers) * 4))
         shard_size = max(1, min(MAX_SHARD_SIZE, per_worker))
     shard_size = max(1, shard_size)
-    return [Shard(shard_id=n, indices=tuple(chunk))
+    return [Shard(shard_id=first_id + n, indices=tuple(chunk))
             for n, chunk in enumerate(
                 indices[start:start + shard_size]
                 for start in range(0, len(indices), shard_size))]
@@ -215,13 +219,26 @@ class WorkerPool:
         ``on_spans`` (when tracing), metrics snapshots merge into this
         process's registry.
         """
-        if not shards:
-            return
+        self.run_batches(iter([list(shards)]), on_records, on_spans)
+
+    def run_batches(self, batches: Iterable[Sequence[Shard]],
+                    on_records: Callable[[Shard, List[Dict]], None],
+                    on_spans: Optional[SpanCallback] = None) -> None:
+        """Execute a stream of shard batches over one persistent pool.
+
+        Each batch is fully drained before the next one is pulled from
+        ``batches`` — that pull is the campaign's batch barrier, where a
+        stopping controller can extend the stream or cut it short by
+        exhausting the iterator.  Workers persist across batches (each
+        one rebuilt its campaign exactly once) and idle at the barrier.
+        Shard ids must be unique across the whole stream (see
+        :func:`plan_shards`'s ``first_id``).
+        """
         ctx = _mp_context()
-        backlog = deque(shards)
-        by_id = {shard.shard_id: shard for shard in shards}
+        backlog: deque = deque()
+        by_id: Dict[int, Shard] = {}
         attempts: Dict[int, int] = {}
-        outstanding = set(by_id)
+        outstanding: set = set()
         pool: Dict[int, _Worker] = {}
         next_worker_id = 0
 
@@ -233,7 +250,7 @@ class WorkerPool:
             next_worker_id += 1
 
         def feed(worker: _Worker) -> None:
-            if backlog and worker.shard is None:
+            if backlog and worker.ready and worker.shard is None:
                 worker.assign(backlog.popleft())
 
         def requeue(shard: Shard, reason: str) -> None:
@@ -249,14 +266,27 @@ class WorkerPool:
             backlog.appendleft(shard)
 
         try:
-            for _ in range(min(self.workers, len(shards))):
-                spawn()
-            while outstanding:
-                self._drain(pool, outstanding, by_id,
-                            on_records, on_spans, feed, requeue)
-                self._check_liveness(pool, outstanding, by_id, backlog,
-                                     on_records, on_spans, requeue,
-                                     spawn, feed)
+            for shards in batches:
+                if not shards:
+                    continue
+                for shard in shards:
+                    if shard.shard_id in by_id:
+                        raise SchedulerError(
+                            f"duplicate shard id {shard.shard_id} "
+                            "across batches")
+                    by_id[shard.shard_id] = shard
+                    backlog.append(shard)
+                    outstanding.add(shard.shard_id)
+                while len(pool) < min(self.workers, len(outstanding)):
+                    spawn()
+                for worker in pool.values():
+                    feed(worker)
+                while outstanding:
+                    self._drain(pool, outstanding, by_id,
+                                on_records, on_spans, feed, requeue)
+                    self._check_liveness(pool, outstanding, by_id,
+                                         backlog, on_records, on_spans,
+                                         requeue, spawn, feed)
         finally:
             for worker in pool.values():
                 worker.stop()
@@ -288,10 +318,10 @@ class WorkerPool:
                     REGISTRY.merge_state(metrics_state)
                 on_records(by_id[shard_id], records)
             if alive:
-                if outstanding:
-                    feed(worker)
-                else:
-                    worker.stop()
+                # An idle worker stays alive: the batch stream may
+                # carry more work after the barrier.  Teardown happens
+                # once the stream is exhausted (run_batches' finally).
+                feed(worker)
         elif kind == "error":
             shard_id, reason = message[2], message[3]
             worker.release()
