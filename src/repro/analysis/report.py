@@ -48,6 +48,10 @@ def full_report(evaluation: Optional[Evaluation] = None,
             or getattr(evaluation, "budget", None) is not None):
         with span("report", artefact="adaptive-planning"):
             sections.append(_adaptive_summary())
+    quarantine = _quarantine_summary()
+    if quarantine is not None:
+        with span("report", artefact="quarantine"):
+            sections.append(quarantine)
     return "\n\n".join(sections)
 
 
@@ -95,6 +99,37 @@ def _adaptive_summary() -> str:
     checks = REGISTRY.get("stopping_rule_checks_total")
     if checks is not None and checks.total():
         lines.append(f"stopping-rule checks: {checks.total():.0f}")
+    return "\n".join(lines)
+
+
+def _quarantine_summary() -> Optional[str]:
+    """The "quarantined faults" section; ``None`` when no campaign of
+    the report excised a poison fault.
+
+    Reads the :mod:`repro.runtime` failure-handling counters — faults
+    excised after bisection, worker hangs and shard retries — so a
+    report produced under infrastructure failures states plainly which
+    results rest on excluded experiments (the quarantined faults are
+    out of every rate denominator, see EXPERIMENTS.md).
+    """
+    from ..obs.metrics import REGISTRY
+    quarantined = REGISTRY.get("faults_quarantined_total")
+    total = quarantined.total() if quarantined is not None else 0.0
+    if not total:
+        return None
+    lines = ["Quarantined faults (repro.runtime)",
+             "=================================="]
+    lines.append(f"poison faults excised after bisection: {total:.0f}")
+    lines.append("(excluded from every outcome-rate denominator and "
+                 "Wilson interval)")
+    hangs = REGISTRY.get("worker_hangs_total")
+    if hangs is not None and hangs.total():
+        lines.append(f"worker hangs detected: {hangs.total():.0f}")
+    retries = REGISTRY.get("shard_retries_total")
+    if retries is not None and retries.total():
+        for key, value in sorted(retries.series().items()):
+            reason = dict(key).get("reason", "?")
+            lines.append(f"shard retries ({reason}): {value:.0f}")
     return "\n".join(lines)
 
 

@@ -15,7 +15,11 @@ emulated, the fault location and duration, the observation points"
     python -m repro campaign --model bitflip --pool ffs --prune-silent
     python -m repro campaign --model bitflip --epsilon 0.05 --budget 3000
     python -m repro campaign --model bitflip --strategy stratified
+    python -m repro campaign --model bitflip --workers 4 \
+        --journal out.jsonl --chaos 'seed=7;worker_crash:p=0.2' \
+        --shard-timeout 5
     python -m repro resume out.jsonl --workers 4
+    python -m repro journal fsck out.jsonl --repair
     python -m repro obs summarize t.json
     python -m repro lint --fail-on error --json findings.json
     python -m repro screen
@@ -35,13 +39,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 from typing import Optional, Sequence
 
 from .analysis import Evaluation
 from .analysis.report import full_report
 from .core import FaultModel, run_config_seu_campaign
 from .core.faults import BAND_LABELS, DURATION_BANDS
-from .errors import ReproError
+from .errors import CampaignInterrupted, ReproError
 from .obs import console, get_logger, setup_logging
 from .obs.metrics import REGISTRY
 
@@ -120,6 +125,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workers", type=int, default=0,
                           help="parallel worker processes "
                                "(0 = in-process serial)")
+    campaign.add_argument("--shard-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="watchdog deadline for parallel shards: "
+                               "a worker silent this long is killed and "
+                               "its shard re-queued (default: derived "
+                               "from observed experiment times)")
+    campaign.add_argument("--chaos", default=None, metavar="SPEC",
+                          help="deterministic fault injection into the "
+                               "runtime itself (repro.chaos), e.g. "
+                               "'seed=7;worker_crash:p=0.2;torn_write'; "
+                               "also honoured from $REPRO_CHAOS")
     campaign.add_argument("--journal", default=None,
                           help="append-only JSONL result journal; "
                                "re-running skips journaled experiments")
@@ -138,10 +154,32 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("journal", help="journal written by campaign "
                                         "--journal")
     resume.add_argument("--workers", type=int, default=0)
+    resume.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="watchdog deadline for parallel shards")
+    resume.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="deterministic runtime fault injection "
+                             "(repro.chaos)")
     resume.add_argument("--trace", default=None, metavar="PATH",
                         help="write a span trace of the resumed portion")
     resume.add_argument("--metrics", default=None, metavar="PATH",
                         help="export the metrics registry on exit")
+
+    journal = commands.add_parser(
+        "journal", help="journal maintenance (integrity checking)")
+    journal_commands = journal.add_subparsers(dest="journal_command",
+                                              required=True)
+    fsck = journal_commands.add_parser(
+        "fsck", help="verify per-line CRCs; classify clean / torn-tail "
+                     "/ corrupt")
+    fsck.add_argument("journal", help="journal written by campaign "
+                                      "--journal")
+    fsck.add_argument("--repair", action="store_true",
+                      help="truncate the journal to its last verifiable "
+                           "prefix (re-run or resume re-executes the "
+                           "dropped experiments)")
+    fsck.add_argument("--json", action="store_true",
+                      help="emit the scan verdict as JSON")
 
     obs = commands.add_parser(
         "obs", help="observability tooling (trace summaries)")
@@ -249,6 +287,16 @@ def _render_result(heading: str, result) -> None:
         console(f"statically resolved: {pruned} pruned (proven Silent), "
                 f"{collapsed} collapsed onto equivalence "
                 f"representatives; {result.emulated_count()} emulated")
+    quarantined = [(position, experiment) for position, experiment
+                   in enumerate(result.experiments)
+                   if getattr(experiment, "quarantined", False)]
+    if quarantined:
+        console(f"quarantined: {len(quarantined)} poison "
+                f"fault{'s' if len(quarantined) != 1 else ''} excised "
+                "after bisection (excluded from the rates above):")
+        for position, experiment in quarantined:
+            console(f"  index {position}: "
+                    f"{experiment.error or 'unknown error'}")
     stop = getattr(result, "stop", None)
     if stop:
         console(f"early stopping: {stop['reason']} after {stop['n']} "
@@ -295,6 +343,54 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_chaos(spec: Optional[str]) -> None:
+    """Activate a --chaos plan for this process (workers inherit it)."""
+    if spec:
+        from . import chaos
+        plan = chaos.ChaosPlan.from_spec(spec)
+        chaos.install(plan)
+        log.warning("chaos plan active: %s", plan.to_spec())
+
+
+def cmd_journal(args: argparse.Namespace) -> int:
+    """Journal integrity tooling; exit 0 only for a clean journal."""
+    from .runtime.journal import repair_journal, scan_journal
+    if not os.path.exists(args.journal):
+        # A missing journal must not certify as clean (a typo'd path
+        # would sail through a CI integrity gate).
+        log.error("%s: no such journal", args.journal)
+        return 2
+    if args.repair:
+        scan, dropped = repair_journal(args.journal)
+        payload = scan.to_dict()
+        payload["repaired"] = True
+        payload["bytes_dropped"] = dropped
+    else:
+        scan = scan_journal(args.journal)
+        payload = scan.to_dict()
+    verdict = scan.verdict()
+    if args.json:
+        console(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        console(f"{args.journal}: {verdict} | {scan.lines} lines "
+                f"({scan.checked} verified, {scan.legacy} legacy "
+                f"without CRC)")
+        for issue in scan.issues:
+            console(f"  line {issue.line_no} ({issue.kind}, byte "
+                    f"{issue.offset}): {issue.detail}")
+        if args.repair and scan.issues:
+            console(f"repaired: truncated "
+                    f"{payload['bytes_dropped']} bytes; the dropped "
+                    "experiments re-run on resume")
+        elif verdict == "corrupt":
+            console("interior damage: verified lines follow a bad one; "
+                    "re-run with --repair to truncate to the last "
+                    "verifiable prefix")
+    if verdict == "clean" or args.repair:
+        return 0
+    return 1 if verdict == "torn-tail" else 2
+
+
 def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
     evaluation.backend = args.backend
     evaluation.prune_silent = args.prune_silent
@@ -318,6 +414,7 @@ def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
                   "--tool fades (the runtime engine drives FADES "
                   "campaigns only)")
         return 1
+    _install_chaos(args.chaos)
     if engine_requested:
         from .runtime import CampaignJobSpec, run_campaign
         jobspec = CampaignJobSpec.from_evaluation(
@@ -325,6 +422,7 @@ def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
         result = run_campaign(jobspec, workers=args.workers,
                               journal=args.journal,
                               trace=args.trace, profile=args.profile,
+                              shard_timeout=args.shard_timeout,
                               progress=_progress_printer(
                                   jobspec.effective_budget()))
         if args.trace:
@@ -345,6 +443,7 @@ def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
 
 def cmd_resume(args: argparse.Namespace) -> int:
     from .runtime import read_journal, resume_campaign
+    _install_chaos(args.chaos)
     state = read_journal(args.journal)
     pending = "?"
     if state.header is not None:
@@ -360,6 +459,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
                  pending)
     result = resume_campaign(
         args.journal, workers=args.workers, trace=args.trace,
+        shard_timeout=args.shard_timeout,
         progress=_progress_printer(pending if isinstance(pending, int)
                                    else 1))
     if args.metrics:
@@ -412,6 +512,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_campaign(evaluation, args)
         if args.command == "resume":
             return cmd_resume(args)
+        if args.command == "journal":
+            return cmd_journal(args)
         if args.command == "screen":
             return cmd_screen(evaluation, args)
         if args.command == "seu":
@@ -433,6 +535,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report = run_spec_file(args.spec, args.output)
             console(json.dumps(report, indent=2))
             return 0
+    except CampaignInterrupted as error:
+        log.error("%s", error)
+        return 130
     except (ReproError, OSError, ValueError) as error:
         log.error("%s", error)
         return 1

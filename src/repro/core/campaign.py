@@ -57,6 +57,11 @@ class ExperimentResult:
     #: Faultload index of the equivalence-class representative whose
     #: emulation produced this outcome (fault collapsing), if any.
     collapsed_from: Optional[int] = None
+    #: Excised by the runtime after exhausting retries and bisection
+    #: (:class:`Outcome.QUARANTINED`); ``error`` carries the failure
+    #: fingerprint that condemned it.
+    quarantined: bool = False
+    error: Optional[str] = None
 
 
 @dataclass
@@ -175,9 +180,13 @@ class FadesCampaign:
                 and not device._violating and not device._broken_nets):
             from ..emu.backend import compiled_golden
             trace = compiled_golden(self, cycles)
-            self.golden_simulations += 1
-            self._golden[key] = trace
-            return trace
+            if trace is not None:
+                self.golden_simulations += 1
+                self._golden[key] = trace
+                return trace
+            # Compilation failed: the campaign has been degraded to the
+            # reference backend — re-key the cache and simulate below.
+            key = self._golden_key(cycles)
         device.reset_system()
         trace = Trace(tuple(device.mapped.outputs))
         interval = self.checkpoint_interval

@@ -23,6 +23,12 @@ class Outcome(enum.Enum):
     FAILURE = "failure"
     LATENT = "latent"
     SILENT = "silent"
+    #: The experiment itself could not be completed: the fault crashed
+    #: or hung the simulator past the runtime's retry budget and was
+    #: isolated by shard bisection (:mod:`repro.runtime.scheduler`).
+    #: Never produced by :func:`classify` — it is an infrastructure
+    #: verdict, not a device one — and excluded from rate denominators.
+    QUARANTINED = "quarantined"
 
 
 def classify(golden: Trace, observed: Trace) -> Outcome:
@@ -41,36 +47,56 @@ class OutcomeCounts:
     failure: int = 0
     latent: int = 0
     silent: int = 0
+    #: Experiments excised by the runtime (poison faults); kept out of
+    #: :attr:`total` so every rate denominator stays classified-only.
+    quarantined: int = 0
 
     def add(self, outcome: Outcome) -> None:
         if outcome is Outcome.FAILURE:
             self.failure += 1
         elif outcome is Outcome.LATENT:
             self.latent += 1
+        elif outcome is Outcome.QUARANTINED:
+            self.quarantined += 1
         else:
             self.silent += 1
 
     @property
     def total(self) -> int:
+        """Classified experiments (quarantined ones are not outcomes)."""
         return self.failure + self.latent + self.silent
 
     def percent(self, outcome: Outcome) -> float:
-        """Percentage of experiments with the given outcome."""
+        """Percentage of classified experiments with the given outcome."""
         if self.total == 0:
             return 0.0
         count = {Outcome.FAILURE: self.failure, Outcome.LATENT: self.latent,
-                 Outcome.SILENT: self.silent}[outcome]
+                 Outcome.SILENT: self.silent,
+                 Outcome.QUARANTINED: self.quarantined}[outcome]
         return 100.0 * count / self.total
 
     def as_dict(self) -> Dict[str, float]:
-        """Percentages keyed by outcome name (figure data points)."""
-        return {outcome.value: self.percent(outcome) for outcome in Outcome}
+        """Percentages keyed by outcome name (figure data points).
+
+        Quarantined experiments appear as a raw count, and only when
+        present — a clean campaign's dict is unchanged from before the
+        quarantine era.
+        """
+        data = {outcome.value: self.percent(outcome)
+                for outcome in (Outcome.FAILURE, Outcome.LATENT,
+                                Outcome.SILENT)}
+        if self.quarantined:
+            data["quarantined"] = float(self.quarantined)
+        return data
 
     def __str__(self) -> str:
-        return (f"failure {self.percent(Outcome.FAILURE):5.1f}% | "
+        text = (f"failure {self.percent(Outcome.FAILURE):5.1f}% | "
                 f"latent {self.percent(Outcome.LATENT):5.1f}% | "
                 f"silent {self.percent(Outcome.SILENT):5.1f}% "
                 f"(n={self.total})")
+        if self.quarantined:
+            text += f" | quarantined {self.quarantined}"
+        return text
 
 
 def tally(golden: Trace, traces: Iterable[Trace]) -> OutcomeCounts:

@@ -29,13 +29,20 @@ from ..core.faults import Fault, FaultModel, TargetKind
 from ..core.injector import invert_lut_line, stuck_lut_line
 from ..hdl.trace import Trace
 from ..obs import metrics as obs_metrics
+from ..obs.logsetup import get_logger
 from ..obs.tracing import span
 from .compiler import compile_design
 from .lanes import BatchSchedule, run_lanes
 
+log = get_logger("repro.emu.backend")
+
 _LANE_FAULTS = obs_metrics.counter(
     "emu_lane_faults_total",
     "Faults evaluated by the compiled backend, by execution mode.")
+_FALLBACKS = obs_metrics.counter(
+    "emu_backend_fallbacks_total",
+    "Campaigns degraded from the compiled to the reference backend, "
+    "by cause.")
 
 #: Default lane count.  Lane 0 is the golden run, so a batch carries
 #: ``lane_width() - 1`` fault experiments.  Lane vectors are arbitrary-
@@ -76,9 +83,39 @@ def supports_fault(fault: Fault) -> bool:
     return False
 
 
-def compiled_golden(campaign, cycles: int) -> Trace:
-    """Golden run through the lane engine (single lane, no faults)."""
-    design = compile_design(campaign.impl.mapped)
+def compile_or_fallback(campaign):
+    """Compile the campaign's design, degrading gracefully on failure.
+
+    Returns the compiled design, or ``None`` after switching the
+    campaign to the reference backend — a compiler defect must cost a
+    campaign its speed-up, never its results.  The ``compile_fail``
+    chaos point fires inside the guarded region so the degradation path
+    stays testable without a real compiler bug.
+    """
+    from .. import chaos
+    try:
+        chaos.check_raise("compile_fail")
+        return compile_design(campaign.impl.mapped)
+    except Exception as error:
+        log.warning(
+            "compiled backend unavailable (%s: %s); "
+            "falling back to the reference backend",
+            type(error).__name__, error)
+        _FALLBACKS.inc(cause=type(error).__name__)
+        campaign.backend = "reference"
+        return None
+
+
+def compiled_golden(campaign, cycles: int) -> Optional[Trace]:
+    """Golden run through the lane engine (single lane, no faults).
+
+    Returns ``None`` when compilation fails; the campaign is then
+    already degraded to the reference backend and the caller falls
+    through to the reference simulation loop.
+    """
+    design = compile_or_fallback(campaign)
+    if design is None:
+        return None
     with span("run", cycles=cycles, lanes=1, backend="compiled"):
         lane_result = run_lanes(design, 1, cycles, inputs=campaign.inputs)
     trace = Trace(tuple(campaign.impl.mapped.outputs))
@@ -196,7 +233,20 @@ def run_lane_batch(campaign, faults: Sequence[Fault], cycles: int,
     """
     results: List[Optional[ExperimentResult]] = [None] * len(faults)
     campaign.golden_run(cycles)
-    design = compile_design(campaign.impl.mapped)
+    design = (compile_or_fallback(campaign)
+              if campaign.backend == "compiled" else None)
+    if design is None:
+        # Compilation failed (or the golden run already degraded the
+        # campaign): run every fault through the reference loop, in
+        # order, so randomiser streams stay aligned.
+        for position, fault in enumerate(faults):
+            index = indices[position] if indices is not None else position
+            if reseed is not None:
+                reseed(index)
+            _LANE_FAULTS.inc(mode="fallback")
+            results[position] = campaign.run_experiment(
+                fault, cycles, pool=pool, index=index)
+        return results  # type: ignore[return-value]
     width = lane_width()
     # A device whose *golden* configuration already has timing violations
     # or broken routes is outside the compiled model; run everything on

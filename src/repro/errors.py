@@ -86,6 +86,17 @@ class SchedulerError(CampaignRuntimeError):
     failing past its retry budget, or a worker died while starting up)."""
 
 
+class CampaignInterrupted(CampaignRuntimeError):
+    """The campaign was stopped by SIGINT/SIGTERM after draining in-flight
+    work and journalling an ``interrupted`` stop line; ``repro resume``
+    continues from the journal."""
+
+
+class ChaosError(ReproError):
+    """A chaos-injection plan is malformed, or a chaos fault point fired
+    an injected runtime failure (:mod:`repro.chaos`)."""
+
+
 class ObservabilityError(ReproError):
     """Problem in the observability layer (:mod:`repro.obs`): conflicting
     metric registrations, an unreadable trace file, ..."""

@@ -128,17 +128,27 @@ class SequentialController:
         ``counts`` must tally exactly the first *n* fault indices —
         the engine only calls this at batch barriers where the record
         prefix is complete, keeping decisions order-independent.
+
+        Quarantined experiments count toward *n* (the prefix is
+        complete, and the scheduling position of a poison fault must
+        not shift the checkpoint grid) but are excluded from every
+        Wilson denominator: a fault the runtime excised carries no
+        outcome evidence.
         """
         from ..analysis.stats import wilson  # local: avoid import cycle
 
         self.checks += 1
+        trials = counts.total  # classified only; excludes quarantined
         per_outcome = {"failure": counts.failure, "latent": counts.latent,
                        "silent": counts.silent}
-        half_width = max(
-            (interval.high - interval.low) / 2.0
-            for interval in (wilson(successes, n,
-                                    self.decision_confidence)
-                             for successes in per_outcome.values()))
+        if trials > 0:
+            half_width = max(
+                (interval.high - interval.low) / 2.0
+                for interval in (wilson(successes, trials,
+                                        self.decision_confidence)
+                                 for successes in per_outcome.values()))
+        else:
+            half_width = 1.0  # no evidence at all: never converged
         converged = half_width <= self.epsilon
         if converged:
             reason = "converged"
@@ -148,9 +158,11 @@ class SequentialController:
             reason = ""
         _CHECKS.inc(decision=reason or "continue")
         intervals = {
-            outcome: [successes, n,
-                      round(wilson(successes, n, self.confidence).low, 6),
-                      round(wilson(successes, n, self.confidence).high, 6)]
+            outcome: [successes, trials,
+                      round(wilson(successes, max(1, trials),
+                                   self.confidence).low, 6),
+                      round(wilson(successes, max(1, trials),
+                                   self.confidence).high, 6)]
             for outcome, successes in per_outcome.items()}
         return StopDecision(stop=bool(reason), reason=reason, n=n,
                             checks=self.checks, half_width=half_width,

@@ -1,0 +1,220 @@
+"""Opt-in on-disk caches with crash-safe writes and stale-lock recovery.
+
+Setting ``REPRO_CACHE_DIR`` lets expensive derived artefacts — golden
+traces (:mod:`repro.runtime.engine`) and generated compiled-backend
+sources (:mod:`repro.emu.compiler`) — persist across processes.  The
+cache is strictly an accelerator: every failure mode (unwritable
+directory, torn entry, lock contention) degrades to recomputing the
+artefact, never to wrong results.
+
+Two crash-safety mechanisms back that promise:
+
+* :func:`atomic_write_bytes` writes to a temporary sibling, fsyncs, and
+  ``os.replace``\\ s it into place — a reader observes either the old
+  entry or the new one, never a torn half-write, and a crash leaves at
+  most an orphaned ``*.tmp.*`` file;
+* :class:`CacheLock` is a ``mkdir``-based advisory lock whose holder
+  records its pid: a waiter breaks the lock when the recorded owner is
+  dead or the lock has outlived ``stale_after_s``, so a killed process
+  can never wedge the cache for everyone after it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..obs import metrics as obs_metrics
+from ..obs.logsetup import get_logger
+
+log = get_logger("repro.runtime.diskcache")
+
+#: Environment variable naming the cache root; unset/empty disables all
+#: on-disk caching.
+ENV_VAR = "REPRO_CACHE_DIR"
+
+_CACHE_OPS = obs_metrics.counter(
+    "disk_cache_ops_total", "On-disk cache operations, by op and result.")
+_LOCKS_BROKEN = obs_metrics.counter(
+    "disk_cache_locks_broken_total",
+    "Stale cache locks forcibly removed, by reason.")
+
+
+def cache_dir() -> Optional[Path]:
+    """The configured cache root (created on first use), or ``None``."""
+    value = os.environ.get(ENV_VAR, "").strip()
+    if not value:
+        return None
+    path = Path(value)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        log.warning("cache dir %s unusable (%s); caching disabled",
+                    path, error)
+        return None
+    return path
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write *data* to *path* via write-temp-then-rename.
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem atomic rename.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(target.parent),
+                               prefix=target.name + ".tmp.")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+class CacheLock:
+    """``mkdir``-based advisory lock guarding one cache entry.
+
+    Used as a context manager.  The lock directory holds an ``owner``
+    file recording the holder's pid and acquisition wall-clock time;
+    a waiter breaks the lock when that pid is no longer alive or the
+    lock is older than ``stale_after_s`` (a holder that survives past
+    staleness was going to lose the entry to a concurrent writer
+    anyway — ``os.replace`` keeps the entry itself consistent).
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 stale_after_s: float = 60.0,
+                 timeout_s: float = 10.0,
+                 poll_s: float = 0.05):
+        self.path = Path(path)
+        self.stale_after_s = stale_after_s
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+
+    # -- staleness ----------------------------------------------------
+    def _owner(self) -> Optional[dict]:
+        try:
+            with open(self.path / "owner", encoding="utf-8") as handle:
+                value = json.load(handle)
+            return value if isinstance(value, dict) else None
+        except (OSError, ValueError):
+            return None
+
+    def _stale_reason(self) -> Optional[str]:
+        owner = self._owner()
+        if owner is None:
+            # Holder crashed between mkdir and writing the owner file;
+            # judge by the directory's own age.
+            try:
+                age = time.time() - self.path.stat().st_mtime
+            except OSError:
+                return None  # lock vanished: not stale, just gone
+            return "no-owner" if age > self.stale_after_s else None
+        if time.time() - float(owner.get("time", 0.0)) > self.stale_after_s:
+            return "expired"
+        pid = int(owner.get("pid", 0))
+        if pid > 0:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return "dead-owner"
+            except (OSError, PermissionError):
+                pass  # alive (or unknowable): respect the lock
+        return None
+
+    def _break(self, reason: str) -> None:
+        log.warning("breaking stale cache lock %s (%s)", self.path, reason)
+        _LOCKS_BROKEN.inc(reason=reason)
+        shutil.rmtree(self.path, ignore_errors=True)
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "CacheLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                os.mkdir(self.path)
+            except FileExistsError:
+                reason = self._stale_reason()
+                if reason is not None:
+                    self._break(reason)
+                    continue
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"cache lock {self.path} still held after "
+                        f"{self.timeout_s:.1f} s")
+                time.sleep(self.poll_s)
+                continue
+            atomic_write_text(self.path / "owner",
+                              json.dumps({"pid": os.getpid(),
+                                          "time": time.time()}))
+            return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        shutil.rmtree(self.path, ignore_errors=True)
+
+
+def load_json(path: Union[str, Path]) -> Optional[Any]:
+    """Read one cache entry; ``None`` on miss.  A torn or otherwise
+    unreadable entry is deleted and treated as a miss."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            value = json.load(handle)
+    except FileNotFoundError:
+        _CACHE_OPS.inc(op="load", result="miss")
+        return None
+    except (OSError, ValueError) as error:
+        _CACHE_OPS.inc(op="load", result="corrupt")
+        log.warning("discarding unreadable cache entry %s (%s)",
+                    path, error)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+    _CACHE_OPS.inc(op="load", result="hit")
+    return value
+
+
+def store_json(path: Union[str, Path], value: Any) -> bool:
+    """Atomically persist one cache entry under its stale-guarded lock.
+
+    Returns whether the store happened; cache-write failures are logged
+    and swallowed (the cache is an accelerator, not a dependency).
+    """
+    target = Path(path)
+    try:
+        with CacheLock(Path(str(target) + ".lock")):
+            atomic_write_text(target,
+                              json.dumps(value, sort_keys=True))
+    except (OSError, TimeoutError, TypeError, ValueError) as error:
+        _CACHE_OPS.inc(op="store", result="error")
+        log.warning("could not store cache entry %s (%s)", target, error)
+        return False
+    _CACHE_OPS.inc(op="store", result="ok")
+    return True
+
+
+def tuplify(value: Any) -> Any:
+    """Recursively turn JSON lists back into the tuples the in-memory
+    artefacts use (JSON has no tuple type)."""
+    if isinstance(value, list):
+        return tuple(tuplify(item) for item in value)
+    return value

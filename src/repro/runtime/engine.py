@@ -21,16 +21,23 @@ sharded campaign tallies exactly like an uninterrupted serial one.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import signal
+import threading
+import traceback
 from typing import Dict, List, Optional, Union
 
 from ..core import generate_faultload, pool_size
 from ..core.campaign import CampaignResult
 from ..core.classify import Outcome
+from ..errors import (CampaignInterrupted, JournalError,
+                      ObservabilityError)
 from ..core.faults import Fault
-from ..errors import JournalError, ObservabilityError
 from ..faultload import (FaultStream, SequentialController, StopDecision,
                          summarize_strata, tally_prefix)
 from ..obs import metrics as obs_metrics
+from ..obs.logsetup import get_logger
 from ..obs.profile import PhaseProfiler, maybe_profile
 from ..obs.tracing import PARENT_TID, TRACER, TraceWriter, span
 from .jobspec import (CampaignJobSpec, JobRunner, build_campaign,
@@ -39,9 +46,14 @@ from .journal import JournalWriter, check_compatible, read_journal
 from .metrics import CampaignMetrics, ProgressCallback
 from .scheduler import WorkerPool, plan_shards
 
+log = get_logger("repro.runtime.engine")
+
 _SAVED = obs_metrics.counter(
     "experiments_saved_total",
     "Experiments the statistical planner never emulated, by reason.")
+_QUARANTINED = obs_metrics.counter(
+    "faults_quarantined_total",
+    "Poison faults excised from campaigns after bisection.")
 
 
 def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
@@ -51,7 +63,8 @@ def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
                  shard_size: Optional[int] = None,
                  max_retries: int = 2,
                  trace: Union[None, bool, str] = None,
-                 profile: Optional[str] = None) -> CampaignResult:
+                 profile: Optional[str] = None,
+                 shard_timeout: Optional[float] = None) -> CampaignResult:
     """Execute one experiment class; see the module docstring.
 
     ``trace`` opts into span tracing: a path writes a fresh
@@ -59,6 +72,9 @@ def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
     ``.trace`` sidecar (requires ``journal``), which is how worker span
     streams survive crashes and extend across resumes.  ``profile`` is
     a path prefix for per-phase cProfile ``.pstats`` artifacts.
+    ``shard_timeout`` pins the watchdog deadline for parallel shards
+    (seconds of worker silence); by default the scheduler derives one
+    from observed experiment times.
     """
     trace_writer: Optional[TraceWriter] = None
     if trace:
@@ -77,7 +93,7 @@ def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
                   workers=workers):
             return _execute(jobspec, workers, journal, progress,
                             progress_interval, shard_size, max_retries,
-                            trace_writer, profiler)
+                            trace_writer, profiler, shard_timeout)
     finally:
         if trace_writer is not None:
             # Parent spans (campaign root + engine phases) land last;
@@ -92,7 +108,8 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
              progress: Optional[ProgressCallback],
              progress_interval: int, shard_size: Optional[int],
              max_retries: int, trace_writer: Optional[TraceWriter],
-             profiler: Optional[PhaseProfiler]) -> CampaignResult:
+             profiler: Optional[PhaseProfiler],
+             shard_timeout: Optional[float] = None) -> CampaignResult:
     metrics = CampaignMetrics(progress=progress,
                               progress_interval=progress_interval,
                               backend=jobspec.backend)
@@ -140,7 +157,7 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
                       exact=controller is None)
 
     with metrics.phase("golden"), maybe_profile(profiler, "golden"):
-        golden = campaign.golden_run(cycles)
+        golden = _golden_with_cache(jobspec, campaign, cycles)
 
     def take(batch: List[Dict]) -> None:
         for record in batch:
@@ -148,6 +165,11 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
             if writer is not None:
                 writer.append_record(record)
             metrics.record(record)
+
+    def quarantine(index: int, reason: str) -> None:
+        """Journal a poison fault the runtime excised (see scheduler)."""
+        _QUARANTINED.inc()
+        take([_quarantined_record(index, reason)])
 
     # Static fault analysis: journal provably-Silent faults directly and
     # defer equivalence-class members to their representative's record.
@@ -208,6 +230,26 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
             stop_decision = decision
         return decision.stop
 
+    # Graceful shutdown: the first SIGINT/SIGTERM asks the executor to
+    # drain in-flight work and journal an interrupted stop line; a
+    # second one forces the default behaviour.  Handlers can only live
+    # on the main thread; elsewhere the campaign simply isn't
+    # interruptible this way.
+    interrupt = threading.Event()
+    previous_handlers: Dict[int, object] = {}
+
+    def _on_signal(signum, _frame) -> None:
+        if interrupt.is_set():
+            raise KeyboardInterrupt
+        interrupt.set()
+        log.warning(
+            "received %s: draining in-flight shards, then stopping "
+            "(repeat to force)", signal.Signals(signum).name)
+
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+
     executed = 0  # end of the last window handed to the executor
     try:
         if workers <= 0:
@@ -222,8 +264,12 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
                 with metrics.phase("experiments"), \
                         maybe_profile(profiler, "experiments"):
                     for offset in range(0, len(pending), size):
-                        take(runner.run_indices(
-                            pending[offset:offset + size]))
+                        if interrupt.is_set():
+                            raise CampaignInterrupted(
+                                "campaign interrupted between "
+                                "experiments")
+                        _run_chunk(runner, pending[offset:offset + size],
+                                   max_retries, take, quarantine)
                     attribute(start, end)
                 executed = end
                 if check_stop(end):
@@ -233,7 +279,9 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
             worker_pool = WorkerPool(
                 jobspec, workers=workers, max_retries=max_retries,
                 on_retry=lambda _shard: metrics.add_retry(),
-                trace=trace_writer is not None)
+                trace=trace_writer is not None,
+                shard_timeout=shard_timeout,
+                on_quarantine=quarantine)
             on_spans = (None if trace_writer is None else
                         lambda _worker_id, spans:
                         trace_writer.write(spans))
@@ -274,7 +322,8 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
                     maybe_profile(profiler, "experiments"):
                 worker_pool.run_batches(
                     batches(), lambda _shard, batch: take(batch),
-                    on_spans=on_spans)
+                    on_spans=on_spans,
+                    should_stop=interrupt.is_set)
                 if executed:
                     attribute(bounds[checkpoints.index(executed)],
                               executed)
@@ -304,7 +353,16 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
             writer.append_summary(result.counts(),
                                   result.total_emulation_s,
                                   metrics.snapshot().wall_s)
+    except CampaignInterrupted:
+        # Every drained in-flight record is already journaled; the stop
+        # line marks the interruption so resume (and humans reading the
+        # journal) can tell a Ctrl-C from a crash.
+        if writer is not None:
+            writer.append_interrupt()
+        raise
     finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
         if writer is not None:
             writer.close()
     metrics.finish()
@@ -316,11 +374,15 @@ def resume_campaign(journal: str, workers: int = 0,
                     progress_interval: int = 1,
                     max_retries: int = 2,
                     trace: Union[None, bool, str] = None,
-                    profile: Optional[str] = None) -> CampaignResult:
+                    profile: Optional[str] = None,
+                    shard_timeout: Optional[float] = None
+                    ) -> CampaignResult:
     """Finish a journaled campaign from its journal alone.
 
-    Already-journaled fault indices are skipped; the remaining ones run
-    under the job spec recorded in the journal header.
+    Already-journaled fault indices are skipped — including
+    ``Quarantined`` records, which replay as-is rather than re-running
+    the faults that earned them — and the remaining ones run under the
+    job spec recorded in the journal header.
     """
     state = read_journal(journal)
     if state.header is None:
@@ -330,7 +392,86 @@ def resume_campaign(journal: str, workers: int = 0,
                         progress=progress,
                         progress_interval=progress_interval,
                         max_retries=max_retries, trace=trace,
-                        profile=profile)
+                        profile=profile, shard_timeout=shard_timeout)
+
+
+def _run_chunk(runner: JobRunner, chunk: List[int], max_retries: int,
+               take, quarantine) -> None:
+    """In-process mirror of the scheduler's retry-then-quarantine path.
+
+    A chunk that raises falls back to per-index execution with the same
+    retry budget workers get, so a poison fault is isolated and excised
+    instead of aborting — serial and parallel campaigns survive the
+    same faultloads.
+    """
+    try:
+        take(runner.run_indices(chunk))
+        return
+    except CampaignInterrupted:
+        raise
+    except Exception:
+        log.warning("chunk of %d experiments raised; isolating "
+                    "per-index", len(chunk))
+    for index in chunk:
+        record: Optional[Dict] = None
+        reason = ""
+        for _attempt in range(max_retries + 1):
+            try:
+                record = runner.run_index(index)
+                break
+            except CampaignInterrupted:
+                raise
+            except Exception:
+                reason = traceback.format_exc()
+        if record is None:
+            quarantine(index, reason)
+        else:
+            take([record])
+
+
+def _golden_with_cache(jobspec: CampaignJobSpec, campaign, cycles: int):
+    """Golden run, served from the opt-in on-disk cache when possible.
+
+    Keyed by the full job-spec identity plus the run length, so any
+    change to the design, workload, seed or backend misses.
+    Reference-backend campaigns using golden checkpoints
+    (``checkpoint_interval``) always simulate: the disk entry carries
+    no device snapshots, and serving it would silently drop the
+    fast-forward optimisation.  (Compiled golden runs never store
+    checkpoints, so they always qualify.)
+    """
+    from ..hdl.trace import Trace
+    from . import diskcache
+
+    cache = diskcache.cache_dir()
+    if cache is None or (campaign.backend == "reference"
+                         and campaign.checkpoint_interval):
+        return campaign.golden_run(cycles)
+    key = hashlib.sha1(json.dumps(
+        [jobspec.to_dict(), cycles], sort_keys=True,
+        default=str).encode("utf-8")).hexdigest()
+    path = cache / "golden" / f"{key}.json"
+    blob = diskcache.load_json(path)
+    if isinstance(blob, dict):
+        try:
+            trace = Trace(tuple(blob["output_names"]))
+            trace.samples = [tuple(sample) for sample in blob["samples"]]
+            trace.final_state = diskcache.tuplify(blob["final_state"])
+            trace.cycles = int(blob["cycles"])
+        except (KeyError, TypeError) as error:
+            log.warning("golden cache entry %s malformed (%s); "
+                        "re-simulating", path, error)
+        else:
+            campaign._golden[campaign._golden_key(cycles)] = trace
+            return trace
+    trace = campaign.golden_run(cycles)
+    diskcache.store_json(path, {
+        "output_names": list(trace.output_names),
+        "samples": [list(sample) for sample in trace.samples],
+        "final_state": trace.final_state,
+        "cycles": trace.cycles,
+    })
+    return trace
 
 
 def _assemble(jobspec: CampaignJobSpec, golden, faults: List[Fault],
@@ -348,10 +489,12 @@ def _assemble(jobspec: CampaignJobSpec, golden, faults: List[Fault],
         result.experiments.append(
             result_from_record(fault, records[index]))
     # Mean emulated time covers the experiments that actually ran —
-    # statically resolved records carry zero cost by construction (the
-    # board never saw them), matching the serial path's accounting.
+    # statically resolved and quarantined records carry zero cost by
+    # construction (the board never completed them), matching the
+    # serial path's accounting.
     emulated = [experiment for experiment in result.experiments
                 if not experiment.pruned
+                and not experiment.quarantined
                 and experiment.collapsed_from is None]
     result.total_emulation_s = sum(
         experiment.cost.total_s for experiment in emulated)
@@ -376,6 +519,28 @@ def _pruned_record(index: int) -> Dict:
 def _collapsed_record(index: int, representative: int,
                       rep_record: Dict) -> Dict:
     """Journal record attributing a representative's outcome."""
-    return {"index": index, "outcome": rep_record["outcome"],
-            "first_divergence": rep_record.get("first_divergence"),
-            "cost": _zero_cost(), "collapsed_from": representative}
+    record = {"index": index, "outcome": rep_record["outcome"],
+              "first_divergence": rep_record.get("first_divergence"),
+              "cost": _zero_cost(), "collapsed_from": representative}
+    if rep_record.get("quarantined"):
+        # A quarantined representative carries no outcome evidence to
+        # attribute; its class members inherit the exclusion.
+        record["quarantined"] = True
+        record["error"] = rep_record.get(
+            "error", f"representative {representative} quarantined")
+    return record
+
+
+def _fingerprint(reason: str) -> str:
+    """Compact, journal-friendly identity of a failure traceback."""
+    lines = [line.strip() for line in reason.strip().splitlines()
+             if line.strip()]
+    tail = lines[-1] if lines else "unknown failure"
+    return tail[:240]
+
+
+def _quarantined_record(index: int, reason: str) -> Dict:
+    """Journal record for a poison fault excised by the runtime."""
+    return {"index": index, "outcome": Outcome.QUARANTINED.value,
+            "first_divergence": None, "cost": _zero_cost(),
+            "quarantined": True, "error": _fingerprint(reason)}

@@ -25,7 +25,7 @@ same spec and seed.  Two derivations guarantee it:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import FaultModel, generate_faultload, pool_size
 from ..core.campaign import ExperimentResult, FadesCampaign
@@ -291,15 +291,25 @@ class JobRunner:
             return max(1, lane_width() - 1)
         return 1
 
-    def run_indices(self, indices: Sequence[int]) -> List[Dict]:
+    def run_indices(self, indices: Sequence[int],
+                    progress: Optional[Callable[[], None]] = None
+                    ) -> List[Dict]:
         """Run several experiments; records in *indices* order.
 
         Routes through the campaign's backend-aware batch path so the
         compiled backend can pack the shard into bit lanes; the injector
         re-seeding contract (see module docstring) holds either way.
+        ``progress`` (if given) is called between experiments — the
+        scheduler's workers hang their heartbeat on it so the watchdog
+        can tell a slow shard from a hung one.
         """
         if self.batch_size() == 1:
-            return [self.run_index(index) for index in indices]
+            records = []
+            for index in indices:
+                records.append(self.run_index(index))
+                if progress is not None:
+                    progress()
+            return records
 
         def reseed(index: int) -> None:
             self.campaign.injector.rng.seed(
@@ -309,6 +319,8 @@ class JobRunner:
         results = self.campaign.run_batch(
             faults, self.jobspec.spec.workload_cycles, pool=self.pool,
             indices=list(indices), reseed=reseed)
+        if progress is not None:
+            progress()
         return [record_from_result(index, result)
                 for index, result in zip(indices, results)]
 
@@ -337,6 +349,10 @@ def record_from_result(index: int, result: ExperimentResult) -> Dict:
         record["pruned"] = True
     if result.collapsed_from is not None:
         record["collapsed_from"] = result.collapsed_from
+    if result.quarantined:
+        record["quarantined"] = True
+        if result.error is not None:
+            record["error"] = result.error
     return record
 
 
@@ -357,6 +373,8 @@ def result_from_record(fault: Fault, record: Dict) -> ExperimentResult:
             first_divergence=record.get("first_divergence"),
             pruned=bool(record.get("pruned", False)),
             collapsed_from=record.get("collapsed_from"),
+            quarantined=bool(record.get("quarantined", False)),
+            error=record.get("error"),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise JournalError(f"malformed record: {error}") from error

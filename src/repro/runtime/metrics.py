@@ -48,6 +48,7 @@ class MetricsSnapshot:
     completed: int = 0
     skipped: int = 0
     retries: int = 0
+    quarantined: int = 0
     wall_s: float = 0.0
     emulated_s: float = 0.0
     phases: Dict[str, float] = field(default_factory=dict)
@@ -92,6 +93,8 @@ class MetricsSnapshot:
             line += f" | resumed past {self.skipped}"
         if self.retries:
             line += f" | retries {self.retries}"
+        if self.quarantined:
+            line += f" | quarantined {self.quarantined}"
         if self.pending:
             eta = self.eta_s
             line += (" | eta --:--" if eta is None
@@ -122,6 +125,7 @@ class CampaignMetrics:
         self.completed = 0
         self.skipped = 0
         self.retries = 0
+        self.quarantined = 0
         self.emulated_s = 0.0
 
     # -- lifecycle -----------------------------------------------------
@@ -161,6 +165,8 @@ class CampaignMetrics:
         """Account one finished experiment (journal-record form)."""
         self.completed += 1
         _RECORDS.inc(outcome=record.get("outcome", "?"))
+        if record.get("quarantined"):
+            self.quarantined += 1
         cost = record.get("cost") or {}
         self.emulated_s += (cost.get("locate_s", 0.0)
                             + cost.get("transfer_s", 0.0)
@@ -184,6 +190,7 @@ class CampaignMetrics:
             completed=self.completed,
             skipped=self.skipped,
             retries=self.retries,
+            quarantined=self.quarantined,
             wall_s=self._clock() - self._started,
             emulated_s=self.emulated_s,
             phases=dict(self._phase_wall),

@@ -15,6 +15,7 @@ import pytest
 from repro.analysis import Evaluation
 from repro.core import FaultModel, build_fades
 from repro.core.campaign import FadesCampaign
+from repro.core.classify import Outcome
 from repro.core.config import FaultLoadSpec
 from repro.core.faults import Fault, Target, TargetKind
 from repro.errors import JournalError, SchedulerError
@@ -215,8 +216,12 @@ class TestScheduler:
 
     @pytest.mark.skipif(not HAS_FORK,
                         reason="crash simulation needs fork start method")
-    def test_persistent_failure_exhausts_retries(self, jobspec,
-                                                 monkeypatch):
+    def test_persistent_failure_quarantines_poison_fault(
+            self, jobspec, serial_result, monkeypatch):
+        # A fault that fails deterministically must not kill the
+        # campaign: after the retry budget it is bisected out,
+        # journaled as Quarantined, and every other fault still
+        # classifies exactly as an undisturbed run.
         original = JobRunner.run_index
 
         def sabotage(self, index):
@@ -225,8 +230,32 @@ class TestScheduler:
             return original(self, index)
 
         monkeypatch.setattr(JobRunner, "run_index", sabotage)
+        result = run_campaign(jobspec, workers=1, max_retries=1)
+        assert len(result.experiments) == COUNT
+        poisoned = result.experiments[1]
+        assert poisoned.quarantined
+        assert poisoned.outcome is Outcome.QUARANTINED
+        assert "always broken" in (poisoned.error or "")
+        clean = [outcome for index, outcome
+                 in enumerate(outcomes(result)) if index != 1]
+        expected = [outcome for index, outcome
+                    in enumerate(outcomes(serial_result)) if index != 1]
+        assert clean == expected
+        assert result.counts().quarantined == 1
+        assert result.counts().total == COUNT - 1
+
+    @pytest.mark.skipif(not HAS_FORK,
+                        reason="crash simulation needs fork start method")
+    def test_pool_without_quarantine_callback_still_aborts(self, jobspec):
+        # Direct WorkerPool users that did not opt into quarantine keep
+        # the historical abort contract.  An out-of-range fault index
+        # raises deterministically inside the worker.
+        from repro.runtime.scheduler import Shard, WorkerPool
+        pool = WorkerPool(jobspec, workers=1, max_retries=0,
+                          backoff_base=0.0)
+        poisoned = Shard(shard_id=0, indices=(10 ** 9,))
         with pytest.raises(SchedulerError):
-            run_campaign(jobspec, workers=1, max_retries=1)
+            pool.run([poisoned], lambda shard, records: None)
 
 
 class TestMetrics:
