@@ -18,9 +18,14 @@ emulated, the fault location and duration, the observation points"
     python -m repro campaign --model bitflip --workers 4 \
         --journal out.jsonl --chaos 'seed=7;worker_crash:p=0.2' \
         --shard-timeout 5
+    python -m repro campaign --model bitflip --workers 4 \
+        --journal out.jsonl --serve-obs 9100 --alert 'slow:ewma<0.5:for=10'
+    python -m repro top out.jsonl --once
+    python -m repro top http://127.0.0.1:9100
     python -m repro resume out.jsonl --workers 4
     python -m repro journal fsck out.jsonl --repair
-    python -m repro obs summarize t.json
+    python -m repro obs summarize t.json --alerts out.jsonl
+    python -m repro obs diff before.tsdb after.tsdb --regress-pct 10
     python -m repro lint --fail-on error --json findings.json
     python -m repro screen
     python -m repro seu --count 40 --occupied
@@ -55,6 +60,29 @@ log = get_logger("repro.cli")
 
 def _parse_values(text: str) -> tuple:
     return tuple(int(token, 0) & 0xFF for token in text.split(","))
+
+
+def _add_liveobs_flags(command: argparse.ArgumentParser) -> None:
+    """Live-observability knobs shared by campaign and resume."""
+    command.add_argument("--serve-obs", default=None, metavar="[HOST:]PORT",
+                         help="serve /metrics, /status and /healthz over "
+                              "HTTP for the campaign's lifetime (port 0 "
+                              "binds an ephemeral port; host defaults to "
+                              "127.0.0.1)")
+    command.add_argument("--alert", action="append", default=None,
+                         metavar="RULE",
+                         help="add an alert rule "
+                              "('name:FIELD OP VALUE[:mode=..][:for=..]"
+                              "[:severity=..]'); repeatable, supplements "
+                              "the built-in rules")
+    command.add_argument("--alert-rules", default=None, metavar="TOML",
+                         help="load [[rules]] alert entries from a TOML "
+                              "file (supplements the built-in rules)")
+    command.add_argument("--sample-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="minimum spacing between time-series "
+                              "samples (default 1.0; samples persist to "
+                              "<journal>.tsdb when journaling)")
 
 
 def _add_planner_flags(command: argparse.ArgumentParser) -> None:
@@ -148,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--profile", default=None, metavar="PREFIX",
                           help="write per-phase cProfile artifacts to "
                                "PREFIX.<phase>.pstats")
+    _add_liveobs_flags(campaign)
 
     resume = commands.add_parser(
         "resume", help="finish a journaled campaign (crash recovery)")
@@ -164,6 +193,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a span trace of the resumed portion")
     resume.add_argument("--metrics", default=None, metavar="PATH",
                         help="export the metrics registry on exit")
+    _add_liveobs_flags(resume)
+
+    top = commands.add_parser(
+        "top", help="live terminal dashboard for a campaign (attach "
+                    "via its --serve-obs URL or its journal path)")
+    top.add_argument("target", help="http://HOST:PORT of a --serve-obs "
+                                    "campaign, or a journal path")
+    top.add_argument("--once", action="store_true",
+                     help="render one snapshot and exit (no ANSI "
+                          "redraw loop)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS", help="refresh interval")
 
     journal = commands.add_parser(
         "journal", help="journal maintenance (integrity checking)")
@@ -190,6 +231,23 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("trace", help="trace written by --trace")
     summarize.add_argument("--json", action="store_true",
                            help="emit the summary as JSON")
+    summarize.add_argument("--alerts", default=None, metavar="JOURNAL",
+                           help="include the alert timeline journalled "
+                                "in this campaign journal (implies "
+                                "--tsdb JOURNAL.tsdb when that exists)")
+    summarize.add_argument("--tsdb", default=None, metavar="PATH",
+                           help="include throughput/health statistics "
+                                "from this .tsdb time series")
+    diff = obs_commands.add_parser(
+        "diff", help="compare two runs (.tsdb sidecars or summarize "
+                     "--json outputs); exit 1 past --regress-pct")
+    diff.add_argument("before", help="baseline run artefact")
+    diff.add_argument("after", help="candidate run artefact")
+    diff.add_argument("--regress-pct", type=float, default=10.0,
+                      metavar="PCT",
+                      help="regression threshold: slower throughput or "
+                           "longer phases by more than PCT%% (or outcome "
+                           "rates drifting that much) fail the diff")
 
     commands.add_parser(
         "screen", help="find the failure-sensitive flip-flops (paper 6.3)")
@@ -343,6 +401,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _liveobs_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the --serve-obs/--alert flags into engine kwargs."""
+    from .obs.alerts import built_in_rules, load_rules_toml, parse_rule_spec
+    from .obs.timeseries import DEFAULT_INTERVAL_S
+    extra = []
+    if args.alert:
+        extra.extend(parse_rule_spec(spec) for spec in args.alert)
+    if args.alert_rules:
+        extra.extend(load_rules_toml(args.alert_rules))
+    return {
+        "serve_obs": args.serve_obs,
+        "alert_rules": built_in_rules() + extra if extra else None,
+        "sample_interval": (args.sample_interval
+                            if args.sample_interval is not None
+                            else DEFAULT_INTERVAL_S),
+    }
+
+
 def _install_chaos(spec: Optional[str]) -> None:
     """Activate a --chaos plan for this process (workers inherit it)."""
     if spec:
@@ -404,15 +480,18 @@ def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
                            mechanism=args.mechanism)
     adaptive = (args.strategy != "uniform" or args.epsilon is not None
                 or args.budget is not None)
+    live_requested = (args.serve_obs is not None or bool(args.alert)
+                      or args.alert_rules is not None
+                      or args.sample_interval is not None)
     engine_requested = (args.workers > 0 or args.journal is not None
                         or args.trace is not None
                         or args.profile is not None
-                        or adaptive)
+                        or adaptive or live_requested)
     if engine_requested and args.tool != "fades":
-        log.error("--workers/--journal/--trace/--profile and the "
-                  "planner flags (--strategy/--epsilon/--budget) need "
-                  "--tool fades (the runtime engine drives FADES "
-                  "campaigns only)")
+        log.error("--workers/--journal/--trace/--profile/--serve-obs, "
+                  "the alert flags and the planner flags "
+                  "(--strategy/--epsilon/--budget) need --tool fades "
+                  "(the runtime engine drives FADES campaigns only)")
         return 1
     _install_chaos(args.chaos)
     if engine_requested:
@@ -424,7 +503,8 @@ def cmd_campaign(evaluation: Evaluation, args: argparse.Namespace) -> int:
                               trace=args.trace, profile=args.profile,
                               shard_timeout=args.shard_timeout,
                               progress=_progress_printer(
-                                  jobspec.effective_budget()))
+                                  jobspec.effective_budget()),
+                              **_liveobs_kwargs(args))
         if args.trace:
             log.info("trace written to %s", args.trace)
     else:
@@ -461,7 +541,8 @@ def cmd_resume(args: argparse.Namespace) -> int:
         args.journal, workers=args.workers, trace=args.trace,
         shard_timeout=args.shard_timeout,
         progress=_progress_printer(pending if isinstance(pending, int)
-                                   else 1))
+                                   else 1),
+        **_liveobs_kwargs(args))
     if args.metrics:
         _export_metrics(args.metrics)
     _render_result(result.spec_label, result)
@@ -469,14 +550,54 @@ def cmd_resume(args: argparse.Namespace) -> int:
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "diff":
+        from .obs.rundiff import diff_runs
+        report, regressed = diff_runs(args.before, args.after,
+                                      regress_pct=args.regress_pct)
+        console(report)
+        if regressed:
+            log.error("regression past %g%% between %s and %s",
+                      args.regress_pct, args.before, args.after)
+            return 1
+        return 0
     from .obs import read_trace, render_summary, summarize_trace
+    from .obs.summary import summarize_timeseries
+    from .obs.timeseries import read_tsdb, tsdb_path_for
     events = read_trace(args.trace)
     summary = summarize_trace(events)
+    alerts = None
+    tsdb = args.tsdb
+    if args.alerts:
+        from .runtime.journal import read_journal
+        state = read_journal(args.alerts)
+        alerts = [{key: value for key, value in entry.items()
+                   if key not in ("type", "crc")}
+                  for entry in state.alerts]
+        if tsdb is None and os.path.exists(tsdb_path_for(args.alerts)):
+            tsdb = tsdb_path_for(args.alerts)
+    timeseries = None
+    if tsdb:
+        samples, dropped = read_tsdb(tsdb)
+        if dropped:
+            log.warning("%s: dropped %d unverifiable samples",
+                        tsdb, dropped)
+        timeseries = summarize_timeseries(samples)
     if args.json:
-        console(json.dumps(summary, indent=2, sort_keys=True))
+        payload = dict(summary)
+        if timeseries is not None:
+            payload["timeseries"] = timeseries
+        if alerts is not None:
+            payload["alerts"] = alerts
+        console(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        console(render_summary(summary))
+        console(render_summary(summary, timeseries=timeseries,
+                               alerts=alerts))
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .obs.live import run_top
+    return run_top(args.target, once=args.once, interval=args.interval)
 
 
 def cmd_screen(evaluation: Evaluation, args: argparse.Namespace) -> int:
@@ -505,6 +626,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "obs":
             return cmd_obs(args)
+        if args.command == "top":
+            return cmd_top(args)
         evaluation = Evaluation(values=args.values, seed=args.seed)
         if args.command == "info":
             return cmd_info(evaluation)

@@ -12,21 +12,40 @@ own injection pipeline:
 * :mod:`~repro.obs.profile` — opt-in cProfile phase hooks
   (``--profile prefix`` → ``prefix.<phase>.pstats``);
 * :mod:`~repro.obs.summary` — ``repro obs summarize``, the per-phase /
-  per-mechanism time table comparable to the paper's Table 2.
+  per-mechanism time table comparable to the paper's Table 2;
+* :mod:`~repro.obs.timeseries` — the campaign time-series sampler and
+  its crash-safe ``.tsdb`` sidecar (also home of the CRC-per-line
+  convention the journal shares);
+* :mod:`~repro.obs.alerts` — declarative threshold alert rules over
+  the sample stream (``--alert`` / ``--alert-rules``);
+* :mod:`~repro.obs.server` — the ``--serve-obs`` HTTP exporter
+  (``/metrics``, ``/status``, ``/healthz``);
+* :mod:`~repro.obs.live` — ``repro top``, the terminal dashboard;
+* :mod:`~repro.obs.rundiff` — ``repro obs diff``, run-to-run
+  regression comparison.
 """
 
-from . import logsetup, metrics, profile, summary, tracing
+from . import (alerts, live, logsetup, metrics, profile, rundiff,
+               server, summary, timeseries, tracing)
+from .alerts import AlertEngine, AlertEvent, AlertRule, built_in_rules
 from .logsetup import console, get_logger, setup_logging
 from .metrics import REGISTRY, MetricsRegistry
 from .profile import PhaseProfiler
-from .summary import render_summary, summarize_trace
+from .server import ObsServer
+from .summary import (render_summary, summarize_timeseries,
+                      summarize_trace)
+from .timeseries import TimeseriesSampler, TsdbWriter, read_tsdb
 from .tracing import (TRACER, Tracer, TraceWriter, read_trace, span,
                       write_trace)
 
 __all__ = [
     "tracing", "metrics", "logsetup", "profile", "summary",
+    "timeseries", "alerts", "server", "live", "rundiff",
     "TRACER", "Tracer", "TraceWriter", "span", "read_trace",
     "write_trace", "REGISTRY", "MetricsRegistry",
     "setup_logging", "get_logger", "console",
-    "PhaseProfiler", "summarize_trace", "render_summary",
+    "PhaseProfiler", "summarize_trace", "summarize_timeseries",
+    "render_summary",
+    "AlertEngine", "AlertEvent", "AlertRule", "built_in_rules",
+    "ObsServer", "TimeseriesSampler", "TsdbWriter", "read_tsdb",
 ]

@@ -15,7 +15,7 @@ import json
 import logging
 import sys
 import time
-from typing import Optional
+from typing import Any, Dict, Optional, TextIO
 
 ROOT_LOGGER = "repro"
 
@@ -44,7 +44,7 @@ class JsonFormatter(logging.Formatter):
     """One JSON object per line: ts, level, logger, msg (+ extras)."""
 
     def format(self, record: logging.LogRecord) -> str:
-        entry = {
+        entry: Dict[str, Any] = {
             "ts": round(record.created, 3),
             "level": record.levelname.lower(),
             "logger": record.name,
@@ -59,7 +59,7 @@ class JsonFormatter(logging.Formatter):
 
 
 def setup_logging(level: str = "info", json_mode: bool = False,
-                  stream=None) -> logging.Logger:
+                  stream: Optional[TextIO] = None) -> logging.Logger:
     """(Re)configure the ``repro`` root logger.
 
     Handlers are replaced — not appended — on every call, and a fresh

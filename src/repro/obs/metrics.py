@@ -30,11 +30,13 @@ from __future__ import annotations
 import bisect
 import json
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Type, TypeVar
 
 from ..errors import ObservabilityError
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+_MetricT = TypeVar("_MetricT", bound="_Metric")
 
 #: Default histogram bounds (seconds): spans four orders of magnitude
 #: around the board model's per-transaction latency.
@@ -42,7 +44,7 @@ DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
                    1.0, 2.5, 5.0, 10.0)
 
 
-def _label_key(labels: Dict[str, str]) -> LabelKey:
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((name, str(value))
                         for name, value in labels.items()))
 
@@ -59,7 +61,7 @@ class _Metric:
 
     kind = "metric"
 
-    def __init__(self, name: str, help_text: str = ""):
+    def __init__(self, name: str, help_text: str = "") -> None:
         self.name = name
         self.help = help_text
         self._lock = threading.Lock()
@@ -70,11 +72,11 @@ class Counter(_Metric):
 
     kind = "counter"
 
-    def __init__(self, name: str, help_text: str = ""):
+    def __init__(self, name: str, help_text: str = "") -> None:
         super().__init__(name, help_text)
         self._values: Dict[LabelKey, float] = {}
 
-    def inc(self, amount: float = 1.0, **labels) -> None:
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
         if amount < 0:
             raise ObservabilityError(
                 f"counter {self.name} cannot decrease")
@@ -82,7 +84,7 @@ class Counter(_Metric):
         with self._lock:
             self._values[key] = self._values.get(key, 0.0) + amount
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
 
     def total(self) -> float:
@@ -108,15 +110,15 @@ class Gauge(_Metric):
 
     kind = "gauge"
 
-    def __init__(self, name: str, help_text: str = ""):
+    def __init__(self, name: str, help_text: str = "") -> None:
         super().__init__(name, help_text)
         self._values: Dict[LabelKey, float] = {}
 
-    def set(self, value: float, **labels) -> None:
+    def set(self, value: float, **labels: Any) -> None:
         with self._lock:
             self._values[_label_key(labels)] = float(value)
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
 
     def series(self) -> Dict[LabelKey, float]:
@@ -138,7 +140,7 @@ class Histogram(_Metric):
     kind = "histogram"
 
     def __init__(self, name: str, help_text: str = "",
-                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         super().__init__(name, help_text)
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds:
@@ -148,7 +150,7 @@ class Histogram(_Metric):
         self._counts: Dict[LabelKey, List[int]] = {}
         self._sums: Dict[LabelKey, float] = {}
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(labels)
         index = bisect.bisect_left(self.bounds, value)
         with self._lock:
@@ -159,27 +161,27 @@ class Histogram(_Metric):
             self._sums[key] = self._sums.get(key, 0.0) + value
 
     # -- per-series views ---------------------------------------------
-    def count(self, **labels) -> int:
+    def count(self, **labels: Any) -> int:
         return sum(self._counts.get(_label_key(labels), ()))
 
-    def sum(self, **labels) -> float:
+    def sum(self, **labels: Any) -> float:
         return self._sums.get(_label_key(labels), 0.0)
 
-    def bucket_counts(self, **labels) -> List[int]:
+    def bucket_counts(self, **labels: Any) -> List[int]:
         """Per-bucket (non-cumulative) counts; last entry is ``+Inf``."""
         key = _label_key(labels)
         return list(self._counts.get(key, [0] * (len(self.bounds) + 1)))
 
-    def cumulative_counts(self, **labels) -> List[int]:
+    def cumulative_counts(self, **labels: Any) -> List[int]:
         """Cumulative ``le`` counts as the text exposition reports them."""
         total = 0
-        cumulative = []
+        cumulative: List[int] = []
         for count in self.bucket_counts(**labels):
             total += count
             cumulative.append(total)
         return cumulative
 
-    def series(self) -> Dict[LabelKey, Dict]:
+    def series(self) -> Dict[LabelKey, Dict[str, Any]]:
         with self._lock:
             return {key: {"counts": list(counts),
                           "sum": self._sums.get(key, 0.0)}
@@ -190,7 +192,7 @@ class Histogram(_Metric):
             self._counts.clear()
             self._sums.clear()
 
-    def _merge(self, series: Dict[LabelKey, Dict]) -> None:
+    def _merge(self, series: Dict[LabelKey, Dict[str, Any]]) -> None:
         with self._lock:
             for key, data in series.items():
                 counts = self._counts.get(key)
@@ -210,7 +212,8 @@ class MetricsRegistry:
         self._lock = threading.Lock()
 
     # -- registration (idempotent) -------------------------------------
-    def _register(self, name: str, kind, **kwargs):
+    def _register(self, name: str, kind: Type[_MetricT],
+                  **kwargs: Any) -> _MetricT:
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:
@@ -244,9 +247,10 @@ class MetricsRegistry:
             metric._reset()
 
     # -- cross-process aggregation -------------------------------------
-    def to_state(self) -> Dict:
+    def to_state(self) -> Dict[str, Dict[str, Any]]:
         """Picklable snapshot for shipping across process boundaries."""
-        state: Dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        state: Dict[str, Dict[str, Any]] = {
+            "counters": {}, "gauges": {}, "histograms": {}}
         for name, metric in list(self._metrics.items()):
             if isinstance(metric, Counter):
                 state["counters"][name] = metric.series()
@@ -259,7 +263,7 @@ class MetricsRegistry:
                 }
         return state
 
-    def merge_state(self, state: Dict) -> None:
+    def merge_state(self, state: Dict[str, Any]) -> None:
         """Fold another process's snapshot into this registry."""
         for name, series in state.get("counters", {}).items():
             self.counter(name)._merge(series)
@@ -284,28 +288,27 @@ class MetricsRegistry:
                     lines.append(
                         f"{name}{_render_labels(key)} {series[key]:g}")
             elif isinstance(metric, Histogram):
-                series = metric.series()
-                for key in sorted(series):
+                hseries = metric.series()
+                bounds = [f"{bound:g}" for bound in metric.bounds]
+                bounds.append("+Inf")
+                for key in sorted(hseries):
                     total = 0
-                    for bound, count in zip(
-                            list(metric.bounds) + ["+Inf"],
-                            series[key]["counts"]):
+                    for bound_text, count in zip(
+                            bounds, hseries[key]["counts"]):
                         total += count
-                        le = (f'le="{bound:g}"'
-                              if not isinstance(bound, str)
-                              else f'le="{bound}"')
+                        le = f'le="{bound_text}"'
                         lines.append(
                             f"{name}_bucket"
                             f"{_render_labels(key, le)} {total}")
                     lines.append(f"{name}_sum{_render_labels(key)} "
-                                 f"{series[key]['sum']:g}")
+                                 f"{hseries[key]['sum']:g}")
                     lines.append(f"{name}_count{_render_labels(key)} "
                                  f"{total}")
         return "\n".join(lines) + "\n"
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible export of every metric and series."""
-        out: Dict = {}
+        out: Dict[str, Any] = {}
         for name, metric in sorted(self._metrics.items()):
             if isinstance(metric, (Counter, Gauge)):
                 out[name] = {

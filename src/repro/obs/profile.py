@@ -26,7 +26,7 @@ from typing import Dict, Iterator, Optional
 class PhaseProfiler:
     """Profiles named phases, dumping ``<prefix>.<phase>.pstats``."""
 
-    def __init__(self, prefix: str):
+    def __init__(self, prefix: str) -> None:
         self.prefix = prefix
         self.timings: Dict[str, float] = {}
         directory = os.path.dirname(os.path.abspath(prefix))

@@ -1,0 +1,207 @@
+"""``repro obs diff A B`` — run-to-run regression comparison.
+
+Compares two campaign runs and reports what moved; past
+``--regress-pct`` a *regression* (slower throughput, longer phases,
+shifted outcome rates) makes the command exit non-zero, which is the
+reusable check benchmarks and CI hang their gates on.
+
+Each side loads from either artefact a run leaves behind:
+
+* a ``.tsdb`` time-series sidecar (``<journal>.tsdb``) — throughput
+  statistics, final health counters, outcome counts, phase seconds;
+* a ``repro obs summarize --json`` output file — engine-phase seconds
+  and experiment counts.
+
+The two are normalised onto one profile shape; metrics present on only
+one side are reported but never judged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ObservabilityError
+from .summary import summarize_timeseries
+from .timeseries import TSDB_SUFFIX, read_tsdb
+
+#: Ignore absolute movements smaller than this (seconds or exp/s):
+#: percentage noise on near-zero baselines is not a regression signal.
+_FLOOR = 1e-3
+
+
+@dataclass
+class RunProfile:
+    """Comparable facts about one finished run."""
+
+    path: str
+    #: exp/s, higher is better.
+    throughput: Optional[float] = None
+    peak_throughput: Optional[float] = None
+    #: phase name -> seconds, lower is better.
+    phase_s: Dict[str, float] = field(default_factory=dict)
+    #: outcome name -> fraction of experiments, drift either way counts.
+    outcome_rates: Dict[str, float] = field(default_factory=dict)
+    experiments: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared metric; ``regressed`` judged against a threshold."""
+
+    metric: str
+    before: float
+    after: float
+    change_pct: float
+    regressed: bool
+
+    def render(self) -> str:
+        marker = "REGRESSED" if self.regressed else "ok"
+        return (f"{self.metric:<28s} {self.before:10.4f} -> "
+                f"{self.after:10.4f}  {self.change_pct:+7.1f}%  {marker}")
+
+
+def load_profile(path: str) -> RunProfile:
+    """Load one comparison side; dispatch on file content, not name."""
+    if not os.path.exists(path):
+        raise ObservabilityError(f"{path}: no such run artefact")
+    if path.endswith(TSDB_SUFFIX):
+        return _profile_from_tsdb(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except ValueError:
+        # Not a JSON document: could still be a tsdb without the
+        # conventional suffix (JSONL never parses as one document).
+        return _profile_from_tsdb(path)
+    if not isinstance(payload, dict):
+        raise ObservabilityError(
+            f"{path}: not a run summary (expected a JSON object)")
+    return _profile_from_summary(path, payload)
+
+
+def _profile_from_tsdb(path: str) -> RunProfile:
+    samples, _dropped = read_tsdb(path)
+    if not samples:
+        raise ObservabilityError(f"{path}: time series has no samples")
+    aggregate = summarize_timeseries(samples)
+    last = samples[-1]
+    profile = RunProfile(
+        path=path,
+        throughput=aggregate["mean_throughput"],
+        peak_throughput=aggregate["peak_throughput"],
+        phase_s={str(name): float(seconds) for name, seconds
+                 in dict(last.get("phases") or {}).items()},
+        experiments=int(last.get("n", 0)))
+    outcomes = {str(name): int(count) for name, count
+                in dict(last.get("outcomes") or {}).items()}
+    total = sum(outcomes.values())
+    if total > 0:
+        profile.outcome_rates = {name: count / total
+                                 for name, count in outcomes.items()}
+    return profile
+
+
+def _profile_from_summary(path: str, payload: Dict[str, Any]) -> RunProfile:
+    if "engine_phases" not in payload:
+        raise ObservabilityError(
+            f"{path}: not a 'repro obs summarize --json' output or "
+            f"{TSDB_SUFFIX} time series")
+    profile = RunProfile(path=path)
+    profile.phase_s = {
+        str(name): float(row.get("total_s", 0.0))
+        for name, row in dict(payload["engine_phases"]).items()}
+    experiments = payload.get("experiments") or {}
+    count = int(experiments.get("count", 0))
+    if count:
+        profile.experiments = count
+        wall = float(payload.get("wall_s", 0.0))
+        if wall > 0:
+            profile.throughput = count / wall
+    return profile
+
+
+def _pct(before: float, after: float) -> float:
+    if before == 0.0:
+        return 0.0 if after == 0.0 else float("inf")
+    return (after - before) / abs(before) * 100.0
+
+
+def compare(before: RunProfile, after: RunProfile,
+            regress_pct: float) -> List[Delta]:
+    """Judge every metric both profiles carry."""
+    deltas: List[Delta] = []
+
+    def judge(metric: str, old: float, new: float,
+              bad_direction: int) -> None:
+        # bad_direction: +1 when an increase is a regression (phase
+        # seconds), -1 when a decrease is (throughput), 0 when drift
+        # either way is (outcome rates).
+        change = _pct(old, new)
+        moved = abs(new - old) >= _FLOOR
+        if bad_direction > 0:
+            bad = change > regress_pct
+        elif bad_direction < 0:
+            bad = change < -regress_pct
+        else:
+            bad = abs(change) > regress_pct
+        deltas.append(Delta(metric=metric, before=old, after=new,
+                            change_pct=0.0 if change == float("inf")
+                            else change,
+                            regressed=bool(bad and moved)))
+
+    if before.throughput is not None and after.throughput is not None:
+        judge("throughput (exp/s)", before.throughput,
+              after.throughput, bad_direction=-1)
+    if before.peak_throughput is not None \
+            and after.peak_throughput is not None:
+        judge("peak throughput (exp/s)", before.peak_throughput,
+              after.peak_throughput, bad_direction=-1)
+    for name in sorted(set(before.phase_s) & set(after.phase_s)):
+        judge(f"phase {name} (s)", before.phase_s[name],
+              after.phase_s[name], bad_direction=+1)
+    for name in sorted(set(before.outcome_rates)
+                       | set(after.outcome_rates)):
+        judge(f"outcome {name} (rate)",
+              before.outcome_rates.get(name, 0.0),
+              after.outcome_rates.get(name, 0.0), bad_direction=0)
+    return deltas
+
+
+def render_diff(before: RunProfile, after: RunProfile,
+                deltas: List[Delta], regress_pct: float) -> str:
+    lines = [f"run diff: {before.path} -> {after.path} "
+             f"(threshold {regress_pct:g}%)"]
+    if before.experiments is not None and after.experiments is not None:
+        lines.append(f"experiments: {before.experiments} -> "
+                     f"{after.experiments}")
+    if not deltas:
+        lines.append("no comparable metrics between the two artefacts")
+        return "\n".join(lines)
+    lines.append("")
+    lines.append(f"{'metric':<28s} {'before':>10s}    {'after':>10s}  "
+                 f"{'change':>8s}")
+    lines.append("-" * 62)
+    lines.extend(delta.render() for delta in deltas)
+    regressed = [delta for delta in deltas if delta.regressed]
+    lines.append("")
+    lines.append(f"{len(regressed)} regression"
+                 f"{'s' if len(regressed) != 1 else ''} past "
+                 f"{regress_pct:g}%"
+                 + (": " + ", ".join(delta.metric
+                                     for delta in regressed)
+                    if regressed else ""))
+    return "\n".join(lines)
+
+
+def diff_runs(path_a: str, path_b: str,
+              regress_pct: float = 10.0
+              ) -> Tuple[str, bool]:
+    """Full pipeline: load, compare, render; ``(report, regressed)``."""
+    before = load_profile(path_a)
+    after = load_profile(path_b)
+    deltas = compare(before, after, regress_pct)
+    report = render_diff(before, after, deltas, regress_pct)
+    return report, any(delta.regressed for delta in deltas)

@@ -1,0 +1,175 @@
+"""Opt-in background HTTP exporter for a running campaign.
+
+``repro campaign --serve-obs [HOST:]PORT`` starts one of these on a
+daemon thread for the lifetime of the campaign.  Three endpoints:
+
+``/metrics``
+    The process-wide metrics registry in Prometheus text exposition
+    format.  Worker snapshots merge into the registry at shard barriers
+    (see :mod:`repro.runtime.scheduler`), so the scrape reflects every
+    finished shard with no extra synchronisation.
+``/status``
+    A JSON snapshot of the campaign: label, progress against the
+    budget, per-outcome counts, runtime-health counters, worker
+    liveness, EWMA throughput/ETA, active alerts, and the recent
+    throughput series ``repro top`` renders as a sparkline.
+``/healthz``
+    Plain ``ok`` — liveness for load balancers and CI curls.
+
+The server binds before the campaign starts (a bad ``--serve-obs`` spec
+fails fast) and serves each request on its own thread, so a slow
+scraper can never stall the scheduler.  Port 0 binds an ephemeral port;
+the bound address is logged and exposed via :func:`current` so tests
+and tooling can discover it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..errors import ObservabilityError
+from . import metrics as obs_metrics
+from .logsetup import get_logger
+
+log = get_logger("repro.obs.server")
+
+#: Prometheus text exposition content type.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Provider of the ``/status`` payload (the engine wires one in).
+StatusProvider = Callable[[], Dict[str, Any]]
+
+_current: Optional["ObsServer"] = None
+_current_lock = threading.Lock()
+
+
+def current() -> Optional["ObsServer"]:
+    """The most recently started (still-running) server, if any."""
+    return _current
+
+
+def parse_serve_spec(spec: str) -> Tuple[str, int]:
+    """``[HOST:]PORT`` -> ``(host, port)``; bare ports bind loopback."""
+    text = str(spec).strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "127.0.0.1", text
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError as error:
+        raise ObservabilityError(
+            f"bad --serve-obs spec {spec!r} "
+            "(expected [HOST:]PORT)") from error
+    if not 0 <= port <= 65535:
+        raise ObservabilityError(
+            f"bad --serve-obs port {port} (expected 0-65535)")
+    return host, port
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the three endpoints; everything else is a 404."""
+
+    server: "_Server"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            self._reply(200, self.server.registry.render_text(),
+                        METRICS_CONTENT_TYPE)
+        elif path == "/healthz":
+            self._reply(200, "ok\n", "text/plain; charset=utf-8")
+        elif path == "/status":
+            try:
+                payload = self.server.status_provider()
+                body = json.dumps(payload, indent=2, sort_keys=True,
+                                  default=str) + "\n"
+            except Exception as error:  # pragma: no cover - defensive
+                self._reply(500, f"status unavailable: {error}\n",
+                            "text/plain; charset=utf-8")
+                return
+            self._reply(200, body, "application/json")
+        else:
+            self._reply(404, "not found (try /metrics, /status, "
+                             "/healthz)\n", "text/plain; charset=utf-8")
+
+    def _reply(self, code: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Route http.server's stderr chatter through the repro logger
+        # at debug level (scrapes are routine, not diagnostics).
+        log.debug("%s %s", self.address_string(), format % args)
+
+
+class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the handler's dependencies."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int],
+                 status_provider: StatusProvider,
+                 registry: obs_metrics.MetricsRegistry):
+        super().__init__(address, _Handler)
+        self.status_provider = status_provider
+        self.registry = registry
+
+
+class ObsServer:
+    """Lifecycle wrapper: bind, serve on a daemon thread, shut down."""
+
+    def __init__(self, spec: str, status_provider: StatusProvider,
+                 registry: obs_metrics.MetricsRegistry
+                 = obs_metrics.REGISTRY):
+        host, port = parse_serve_spec(spec)
+        try:
+            self._server = _Server((host, port), status_provider,
+                                   registry)
+        except OSError as error:
+            raise ObservabilityError(
+                f"cannot bind --serve-obs {spec!r}: {error}") from error
+        self.host, self.port = self._server.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        global _current
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-obs-server", daemon=True)
+        self._thread.start()
+        with _current_lock:
+            _current = self
+        log.info("observability endpoint serving on %s "
+                 "(/metrics /status /healthz)", self.url)
+        return self
+
+    def close(self) -> None:
+        global _current
+        with _current_lock:
+            if _current is self:
+                _current = None
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "ObsServer":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()

@@ -19,13 +19,23 @@ Turns a raw span stream back into the tables the paper reasons with:
 Self time is computed from the explicit parent links the tracer records
 (span ids are scoped per ``tid``/process, so the key is ``(tid, id)``),
 not from timestamp containment.
+
+Instant markers are tallied as **runtime events** (watchdog kills,
+quarantines, shard retries/bisections, chaos injections, alert
+firings), and ``repro obs summarize --tsdb`` folds in the campaign's
+``.tsdb`` time series (peak/mean throughput, alert timeline).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .tracing import PARENT_TID
+
+#: Instant-marker names surfaced in the runtime-events table, in
+#: display order (foreign instants are tallied too, after these).
+RUNTIME_EVENTS = ("watchdog_kill", "shard_retry", "shard_bisect",
+                  "quarantine", "chaos", "alert")
 
 #: Engine phases in execution order (children of the ``campaign`` span).
 ENGINE_PHASES = ("setup", "plan", "golden", "prune", "experiments",
@@ -35,23 +45,32 @@ ENGINE_PHASES = ("setup", "plan", "golden", "prune", "experiments",
 EXPERIMENT_PHASES = ("reconfigure", "run", "readback", "classify")
 
 
-def _span_key(event: Dict) -> Optional[tuple]:
+_SpanKey = Tuple[Any, Any]
+
+
+def _span_key(event: Dict[str, Any]) -> Optional[_SpanKey]:
     span_id = event.get("args", {}).get("id")
     if span_id is None:
         return None
     return (event.get("tid"), span_id)
 
 
-def summarize_trace(events: List[Dict]) -> Dict:
+def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Aggregate a trace event list into per-phase/per-mechanism totals.
 
-    All times are reported in seconds.  Only complete (``"ph": "X"``)
-    events contribute; instants and foreign events are ignored.
+    All times are reported in seconds.  Complete (``"ph": "X"``) events
+    feed the time tables; instant markers (``"ph": "i"``) are counted
+    as runtime events.
     """
     spans = [event for event in events if event.get("ph") == "X"]
+    runtime_events: Dict[str, int] = {}
+    for event in events:
+        if event.get("ph") == "i":
+            name = str(event.get("name", "?"))
+            runtime_events[name] = runtime_events.get(name, 0) + 1
 
     # Self time: a span's duration minus its direct children's.
-    children_dur: Dict[tuple, float] = {}
+    children_dur: Dict[_SpanKey, float] = {}
     for event in spans:
         parent = event.get("args", {}).get("parent")
         if parent is not None:
@@ -59,17 +78,17 @@ def summarize_trace(events: List[Dict]) -> Dict:
             children_dur[key] = (children_dur.get(key, 0.0)
                                  + event.get("dur", 0.0))
 
-    def self_us(event: Dict) -> float:
+    def self_us(event: Dict[str, Any]) -> float:
         key = _span_key(event)
         child = children_dur.get(key, 0.0) if key else 0.0
         return max(0.0, event.get("dur", 0.0) - child)
 
     wall_us = 0.0
-    engine: Dict[str, Dict] = {}
-    phases: Dict[str, Dict] = {}
-    mechanisms: Dict[str, Dict] = {}
-    backends: Dict[str, Dict] = {}
-    experiments = {"count": 0, "total_s": 0.0}
+    engine: Dict[str, Dict[str, Any]] = {}
+    phases: Dict[str, Dict[str, Any]] = {}
+    mechanisms: Dict[str, Dict[str, Any]] = {}
+    backends: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    experiments: Dict[str, Any] = {"count": 0, "total_s": 0.0}
     workers = set()
 
     for event in spans:
@@ -118,6 +137,30 @@ def summarize_trace(events: List[Dict]) -> Dict:
         "experiments": experiments,
         "workers": len(workers),
         "events": len(spans),
+        "runtime_events": runtime_events,
+    }
+
+
+def summarize_timeseries(samples: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a ``.tsdb`` sample list for the summary's live section.
+
+    Reports throughput statistics over the instantaneous per-sample
+    rates plus the final cumulative health counters (they are
+    monotonic within one sampler lifetime).
+    """
+    rates = [float(sample.get("throughput", 0.0)) for sample in samples]
+    last = samples[-1] if samples else {}
+    return {
+        "samples": len(samples),
+        "duration_s": float(last.get("t", 0.0)),
+        "peak_throughput": max(rates) if rates else 0.0,
+        "mean_throughput": (sum(rates) / len(rates)) if rates else 0.0,
+        "final_ewma": float(last.get("ewma", 0.0)),
+        "hangs": last.get("hangs", 0),
+        "retries": last.get("retries", 0),
+        "quarantined": last.get("quarantined", 0),
+        "fallbacks": last.get("fallbacks", 0),
+        "alerts": last.get("alerts", 0),
     }
 
 
@@ -125,8 +168,15 @@ def _fmt_s(seconds: float) -> str:
     return f"{seconds:10.3f}"
 
 
-def render_summary(summary: Dict) -> str:
-    """Human-readable table for ``repro obs summarize``."""
+def render_summary(summary: Dict[str, Any],
+                   timeseries: Optional[Dict[str, Any]] = None,
+                   alerts: Optional[List[Dict[str, Any]]] = None) -> str:
+    """Human-readable table for ``repro obs summarize``.
+
+    ``timeseries`` is a :func:`summarize_timeseries` aggregate and
+    ``alerts`` a list of journalled alert lines; both are optional
+    extra sections (``--tsdb`` / ``--alerts``).
+    """
     lines: List[str] = []
     wall = summary["wall_s"]
     lines.append(f"campaign wall-clock   {wall:.3f} s   "
@@ -202,4 +252,45 @@ def render_summary(summary: Dict) -> str:
         lines.append(f"experiments: {experiments['count']} spans, "
                      f"{experiments['total_s']:.3f} worker-seconds, "
                      f"mean {mean_ms:.3f} ms")
+
+    runtime_events = summary.get("runtime_events") or {}
+    if runtime_events:
+        lines.append("")
+        lines.append("runtime event         count")
+        lines.append("-" * 27)
+        ordered = [name for name in RUNTIME_EVENTS
+                   if name in runtime_events]
+        ordered += sorted(set(runtime_events) - set(RUNTIME_EVENTS))
+        for name in ordered:
+            lines.append(f"{name:<20s} {runtime_events[name]:6d}")
+
+    if timeseries is not None:
+        lines.append("")
+        lines.append(f"time series: {timeseries['samples']} samples "
+                     f"over {timeseries['duration_s']:.1f} s")
+        lines.append(f"  throughput  peak {timeseries['peak_throughput']:.2f}"
+                     f"  mean {timeseries['mean_throughput']:.2f}"
+                     f"  final ewma {timeseries['final_ewma']:.2f}"
+                     "  exp/s")
+        health = [f"{name} {int(timeseries[name])}"
+                  for name in ("hangs", "retries", "quarantined",
+                               "fallbacks")
+                  if timeseries.get(name)]
+        if health:
+            lines.append("  health      " + "  ".join(health))
+
+    if alerts is not None:
+        lines.append("")
+        if not alerts:
+            lines.append("alerts: none fired")
+        else:
+            lines.append(f"alert timeline ({len(alerts)} fired)")
+            lines.append("-" * 48)
+            for entry in alerts:
+                replayed = " (replayed)" if entry.get("replayed") else ""
+                lines.append(
+                    f"  t={float(entry.get('t', 0.0)):8.1f}s  "
+                    f"{str(entry.get('rule', '?')):<22s} "
+                    f"[{entry.get('severity', '?')}]"
+                    f"{replayed}")
     return "\n".join(lines)

@@ -46,7 +46,8 @@ import os
 import threading
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import (Any, Callable, ContextManager, Dict, Iterator,
+                    List, Optional)
 
 from ..errors import ObservabilityError
 
@@ -58,11 +59,11 @@ class Tracer:
     """Records spans as Chrome trace events; one instance per process."""
 
     def __init__(self, clock: Callable[[], float] = time.monotonic,
-                 tid: int = PARENT_TID):
+                 tid: int = PARENT_TID) -> None:
         self._clock = clock
         self.enabled = False
         self.tid = tid
-        self._events: List[Dict] = []
+        self._events: List[Dict[str, Any]] = []
         self._lock = threading.Lock()
         self._next_id = 0
         self._current: contextvars.ContextVar[Optional[int]] = \
@@ -91,7 +92,7 @@ class Tracer:
 
     # -- recording -----------------------------------------------------
     @contextmanager
-    def span(self, name: str, **attrs) -> Iterator[Optional[int]]:
+    def span(self, name: str, **attrs: Any) -> Iterator[Optional[int]]:
         """Time a region; yields the span id (``None`` when disabled)."""
         if not self.enabled:
             yield None
@@ -110,7 +111,7 @@ class Tracer:
             args = dict(attrs)
             args["id"] = span_id
             args["parent"] = parent
-            event = {
+            event: Dict[str, Any] = {
                 "name": name,
                 "ph": "X",
                 "pid": 1,
@@ -122,30 +123,31 @@ class Tracer:
             with self._lock:
                 self._events.append(event)
 
-    def instant(self, name: str, **attrs) -> None:
+    def instant(self, name: str, **attrs: Any) -> None:
         """Record a zero-duration marker event."""
         if not self.enabled:
             return
-        event = {"name": name, "ph": "i", "pid": 1, "tid": self.tid,
-                 "ts": round(self._clock() * 1e6, 3), "s": "t",
-                 "args": dict(attrs)}
+        event: Dict[str, Any] = {
+            "name": name, "ph": "i", "pid": 1, "tid": self.tid,
+            "ts": round(self._clock() * 1e6, 3), "s": "t",
+            "args": dict(attrs)}
         with self._lock:
             self._events.append(event)
 
     # -- collection ----------------------------------------------------
     @property
-    def events(self) -> List[Dict]:
+    def events(self) -> List[Dict[str, Any]]:
         """Snapshot of the finished events recorded so far."""
         with self._lock:
             return list(self._events)
 
-    def drain(self) -> List[Dict]:
+    def drain(self) -> List[Dict[str, Any]]:
         """Remove and return all finished events (worker shipping)."""
         with self._lock:
             events, self._events = self._events, []
         return events
 
-    def adopt(self, events: List[Dict],
+    def adopt(self, events: List[Dict[str, Any]],
               tid: Optional[int] = None) -> None:
         """Merge events drained from another process into this stream.
 
@@ -162,7 +164,7 @@ class Tracer:
 TRACER = Tracer()
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: Any) -> ContextManager[Optional[int]]:
     """Open a span on the process-wide tracer (the usual entry point)."""
     return TRACER.span(name, **attrs)
 
@@ -179,7 +181,7 @@ class TraceWriter:
     extend the same file.
     """
 
-    def __init__(self, path: str, append: bool = False):
+    def __init__(self, path: str, append: bool = False) -> None:
         self.path = path
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
@@ -191,7 +193,7 @@ class TraceWriter:
             self._handle.write("[\n")
             self._handle.flush()
 
-    def write(self, events: List[Dict]) -> None:
+    def write(self, events: List[Dict[str, Any]]) -> None:
         for event in events:
             self._handle.write(json.dumps(event, sort_keys=True) + ",\n")
         if events:
@@ -204,17 +206,17 @@ class TraceWriter:
     def __enter__(self) -> "TraceWriter":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
 
-def write_trace(path: str, events: List[Dict]) -> None:
+def write_trace(path: str, events: List[Dict[str, Any]]) -> None:
     """Write a complete trace file in one go (overwrites)."""
     with TraceWriter(path) as writer:
         writer.write(events)
 
 
-def read_trace(path: str) -> List[Dict]:
+def read_trace(path: str) -> List[Dict[str, Any]]:
     """Parse a trace file back into its event list.
 
     Like the journal reader, malformed lines are dropped rather than

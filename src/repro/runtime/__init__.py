@@ -14,6 +14,9 @@ this subsystem makes the reproduction's campaigns fast *and durable*:
   (``REPRO_CACHE_DIR``) with atomic writes and stale-lock recovery;
 * :mod:`repro.runtime.metrics` — throughput and per-phase wall-clock
   versus emulated-time accounting, with progress callbacks;
+* :mod:`repro.runtime.liveobs` — the live-observability coordinator
+  (time-series sampler, alert engine, ``--serve-obs`` HTTP exporter)
+  polled at the engine's batch barriers;
 * :mod:`repro.runtime.engine` — the public API:
   :func:`~repro.runtime.engine.run_campaign` and
   :func:`~repro.runtime.engine.resume_campaign`.
@@ -33,6 +36,7 @@ from .jobspec import (CampaignJobSpec, DEFAULT_CHECKPOINT_INTERVAL,
 from .journal import (JOURNAL_VERSION, JournalScan, JournalState,
                       JournalWriter, check_compatible, read_journal,
                       repair_journal, scan_journal)
+from .liveobs import CampaignObservability
 from .metrics import CampaignMetrics, MetricsSnapshot, ProgressCallback
 from .scheduler import MAX_SHARD_SIZE, Shard, WorkerPool, plan_shards
 
@@ -54,6 +58,7 @@ __all__ = [
     "read_journal",
     "repair_journal",
     "scan_journal",
+    "CampaignObservability",
     "CampaignMetrics",
     "MetricsSnapshot",
     "ProgressCallback",

@@ -37,12 +37,15 @@ from ..core.faults import Fault
 from ..faultload import (FaultStream, SequentialController, StopDecision,
                          summarize_strata, tally_prefix)
 from ..obs import metrics as obs_metrics
+from ..obs.alerts import AlertRule
 from ..obs.logsetup import get_logger
 from ..obs.profile import PhaseProfiler, maybe_profile
+from ..obs.timeseries import DEFAULT_INTERVAL_S
 from ..obs.tracing import PARENT_TID, TRACER, TraceWriter, span
 from .jobspec import (CampaignJobSpec, JobRunner, build_campaign,
                       result_from_record)
 from .journal import JournalWriter, check_compatible, read_journal
+from .liveobs import CampaignObservability
 from .metrics import CampaignMetrics, ProgressCallback
 from .scheduler import WorkerPool, plan_shards
 
@@ -64,7 +67,11 @@ def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
                  max_retries: int = 2,
                  trace: Union[None, bool, str] = None,
                  profile: Optional[str] = None,
-                 shard_timeout: Optional[float] = None) -> CampaignResult:
+                 shard_timeout: Optional[float] = None,
+                 serve_obs: Optional[str] = None,
+                 alert_rules: Optional[List[AlertRule]] = None,
+                 sample_interval: float = DEFAULT_INTERVAL_S
+                 ) -> CampaignResult:
     """Execute one experiment class; see the module docstring.
 
     ``trace`` opts into span tracing: a path writes a fresh
@@ -75,6 +82,11 @@ def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
     ``shard_timeout`` pins the watchdog deadline for parallel shards
     (seconds of worker silence); by default the scheduler derives one
     from observed experiment times.
+
+    ``serve_obs`` (``[HOST:]PORT``) starts the live HTTP exporter for
+    the campaign's lifetime; ``alert_rules`` replaces the built-in
+    alert rule set; ``sample_interval`` throttles the time-series
+    sampler (samples persist to ``<journal>.tsdb`` when journaling).
     """
     trace_writer: Optional[TraceWriter] = None
     if trace:
@@ -93,7 +105,10 @@ def run_campaign(jobspec: CampaignJobSpec, workers: int = 0,
                   workers=workers):
             return _execute(jobspec, workers, journal, progress,
                             progress_interval, shard_size, max_retries,
-                            trace_writer, profiler, shard_timeout)
+                            trace_writer, profiler, shard_timeout,
+                            serve_obs=serve_obs,
+                            alert_rules=alert_rules,
+                            sample_interval=sample_interval)
     finally:
         if trace_writer is not None:
             # Parent spans (campaign root + engine phases) land last;
@@ -109,7 +124,11 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
              progress_interval: int, shard_size: Optional[int],
              max_retries: int, trace_writer: Optional[TraceWriter],
              profiler: Optional[PhaseProfiler],
-             shard_timeout: Optional[float] = None) -> CampaignResult:
+             shard_timeout: Optional[float] = None,
+             serve_obs: Optional[str] = None,
+             alert_rules: Optional[List[AlertRule]] = None,
+             sample_interval: float = DEFAULT_INTERVAL_S
+             ) -> CampaignResult:
     metrics = CampaignMetrics(progress=progress,
                               progress_interval=progress_interval,
                               backend=jobspec.backend)
@@ -136,10 +155,12 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
 
         records: Dict[int, Dict] = {}
         writer: Optional[JournalWriter] = None
+        replayed_alerts: List[Dict] = []
         if journal is not None:
             state = read_journal(journal)
             check_compatible(state, jobspec, journal)
             records.update(state.done_indices(budget))
+            replayed_alerts = state.alerts
             writer = JournalWriter(journal, jobspec, state=state)
 
     # The dispatch schedule: windows between stopping-rule checkpoints.
@@ -159,12 +180,24 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
     with metrics.phase("golden"), maybe_profile(profiler, "golden"):
         golden = _golden_with_cache(jobspec, campaign, cycles)
 
+    # Bound below, before any experiment runs; None only so the take /
+    # check_stop closures resolve while the coordinator is being built.
+    live: Optional[CampaignObservability] = None
+
     def take(batch: List[Dict]) -> None:
+        if live is not None:
+            # Pre-batch poll: runtime-health counters (watchdog kills,
+            # retries) move between batches on the parent's event loop,
+            # so alerts about them fire before this batch's progress
+            # callbacks observe the registry.
+            live.poll()
         for record in batch:
             records[record["index"]] = record
             if writer is not None:
                 writer.append_record(record)
             metrics.record(record)
+        if live is not None:
+            live.poll()
 
     def quarantine(index: int, reason: str) -> None:
         """Journal a poison fault the runtime excised (see scheduler)."""
@@ -218,6 +251,11 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
         executions of the same job spec.
         """
         nonlocal stop_decision
+        if live is not None:
+            # The barrier is the live layer's clock: force a sample so
+            # every checkpoint lands in the series and the alert rules
+            # run even when the throttle would have skipped it.
+            live.poll(force=True)
         if controller is None or stop_decision is not None:
             return stop_decision is not None
         counts = tally_prefix(records, n)
@@ -252,6 +290,11 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
 
     executed = 0  # end of the last window handed to the executor
     try:
+        live = CampaignObservability(
+            label=jobspec.display_label(), metrics=metrics,
+            journal=journal, writer=writer, serve_obs=serve_obs,
+            alert_rules=alert_rules, replayed_alerts=replayed_alerts,
+            sample_interval=sample_interval, workers=max(0, workers))
         if workers <= 0:
             runner = JobRunner(jobspec, campaign=campaign,
                                faults=faults, pool=pool)
@@ -282,6 +325,7 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
                 trace=trace_writer is not None,
                 shard_timeout=shard_timeout,
                 on_quarantine=quarantine)
+            live.attach_pool(worker_pool)
             on_spans = (None if trace_writer is None else
                         lambda _worker_id, spans:
                         trace_writer.write(spans))
@@ -363,6 +407,10 @@ def _execute(jobspec: CampaignJobSpec, workers: int,
     finally:
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
+        if live is not None:
+            # Before the journal closes: the final forced sample may
+            # still journal an alert firing.
+            live.close()
         if writer is not None:
             writer.close()
     metrics.finish()
@@ -375,7 +423,10 @@ def resume_campaign(journal: str, workers: int = 0,
                     max_retries: int = 2,
                     trace: Union[None, bool, str] = None,
                     profile: Optional[str] = None,
-                    shard_timeout: Optional[float] = None
+                    shard_timeout: Optional[float] = None,
+                    serve_obs: Optional[str] = None,
+                    alert_rules: Optional[List[AlertRule]] = None,
+                    sample_interval: float = DEFAULT_INTERVAL_S
                     ) -> CampaignResult:
     """Finish a journaled campaign from its journal alone.
 
@@ -392,7 +443,9 @@ def resume_campaign(journal: str, workers: int = 0,
                         progress=progress,
                         progress_interval=progress_interval,
                         max_retries=max_retries, trace=trace,
-                        profile=profile, shard_timeout=shard_timeout)
+                        profile=profile, shard_timeout=shard_timeout,
+                        serve_obs=serve_obs, alert_rules=alert_rules,
+                        sample_interval=sample_interval)
 
 
 def _run_chunk(runner: JobRunner, chunk: List[int], max_retries: int,

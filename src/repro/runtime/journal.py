@@ -31,29 +31,24 @@ from __future__ import annotations
 
 import json
 import os
-import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .. import chaos
 from ..errors import ChaosError, JournalError
+# Canonical home of the CRC-per-line convention is the observability
+# layer (the .tsdb sidecar shares it); re-exported here because the
+# journal is where existing callers know to find it.
+from ..obs.timeseries import line_crc, seal_line
 from .jobspec import CampaignJobSpec
 
+__all__ = [
+    "JOURNAL_VERSION", "line_crc", "seal_line", "LineIssue",
+    "JournalScan", "scan_journal", "repair_journal", "JournalState",
+    "read_journal", "check_compatible", "JournalWriter",
+]
+
 JOURNAL_VERSION = 1
-
-
-def line_crc(entry: Dict) -> str:
-    """CRC32 (hex) of an entry's canonical JSON, minus the crc itself."""
-    payload = {key: value for key, value in entry.items() if key != "crc"}
-    canonical = json.dumps(payload, sort_keys=True)
-    return format(zlib.crc32(canonical.encode("utf-8")), "08x")
-
-
-def seal_line(entry: Dict) -> str:
-    """Serialise one journal entry with its integrity checksum."""
-    sealed = dict(entry)
-    sealed["crc"] = line_crc(entry)
-    return json.dumps(sealed, sort_keys=True)
 
 
 @dataclass(frozen=True)
@@ -184,6 +179,10 @@ class JournalState:
     #: Early-stopping decision of an adaptive campaign (latest wins):
     #: stop reason, experiment count and achieved confidence intervals.
     stop: Optional[Dict] = None
+    #: Alert firings journalled by the live-observability layer, in
+    #: append order; resume replays them so an alert that fired before
+    #: a crash is not silently forgotten.
+    alerts: List[Dict] = field(default_factory=list)
     dropped_lines: int = 0
 
     @property
@@ -232,6 +231,8 @@ def read_journal(path: str) -> JournalState:
             state.summary = entry
         elif kind == "stop":
             state.stop = entry
+        elif kind == "alert":
+            state.alerts.append(entry)
         else:
             state.dropped_lines += 1
     return state
@@ -321,6 +322,17 @@ class JournalWriter:
         """
         entry = dict(decision)
         entry["type"] = "stop"
+        self._append(entry)
+
+    def append_alert(self, event: Dict) -> None:
+        """Journal one alert firing (see :mod:`repro.obs.alerts`).
+
+        Alerts are part of the campaign's durable story: a resumed
+        campaign replays them into the alert engine's history instead
+        of pretending the incident never happened.
+        """
+        entry = dict(event)
+        entry["type"] = "alert"
         self._append(entry)
 
     def append_interrupt(self) -> None:

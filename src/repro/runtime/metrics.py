@@ -16,6 +16,7 @@ use them to observe (and interrupt) a running campaign.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -52,6 +53,9 @@ class MetricsSnapshot:
     wall_s: float = 0.0
     emulated_s: float = 0.0
     phases: Dict[str, float] = field(default_factory=dict)
+    #: Per-outcome counts for *this* campaign (the registry's
+    #: ``campaign_records_total`` counter spans the whole process).
+    outcomes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def pending(self) -> int:
@@ -127,6 +131,10 @@ class CampaignMetrics:
         self.retries = 0
         self.quarantined = 0
         self.emulated_s = 0.0
+        self.outcomes: Dict[str, int] = {}
+        # Snapshots may be taken from the exporter's server thread
+        # while the engine thread is mid-record.
+        self._lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
     def set_total(self, total: int, skipped: int = 0,
@@ -163,15 +171,19 @@ class CampaignMetrics:
 
     def record(self, record: Dict) -> None:
         """Account one finished experiment (journal-record form)."""
-        self.completed += 1
-        _RECORDS.inc(outcome=record.get("outcome", "?"))
-        if record.get("quarantined"):
-            self.quarantined += 1
+        outcome = str(record.get("outcome", "?"))
+        _RECORDS.inc(outcome=outcome)
         cost = record.get("cost") or {}
-        self.emulated_s += (cost.get("locate_s", 0.0)
-                            + cost.get("transfer_s", 0.0)
-                            + cost.get("workload_s", 0.0)
-                            + cost.get("overhead_s", 0.0))
+        emulated = (cost.get("locate_s", 0.0)
+                    + cost.get("transfer_s", 0.0)
+                    + cost.get("workload_s", 0.0)
+                    + cost.get("overhead_s", 0.0))
+        with self._lock:
+            self.completed += 1
+            self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+            if record.get("quarantined"):
+                self.quarantined += 1
+            self.emulated_s += emulated
         if self._progress is None:
             return
         remaining = self.total - self.skipped - self.completed
@@ -184,17 +196,19 @@ class CampaignMetrics:
 
     # -- reporting -----------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
-        return MetricsSnapshot(
-            total=self.total,
-            total_exact=self.total_exact,
-            completed=self.completed,
-            skipped=self.skipped,
-            retries=self.retries,
-            quarantined=self.quarantined,
-            wall_s=self._clock() - self._started,
-            emulated_s=self.emulated_s,
-            phases=dict(self._phase_wall),
-        )
+        with self._lock:
+            return MetricsSnapshot(
+                total=self.total,
+                total_exact=self.total_exact,
+                completed=self.completed,
+                skipped=self.skipped,
+                retries=self.retries,
+                quarantined=self.quarantined,
+                wall_s=self._clock() - self._started,
+                emulated_s=self.emulated_s,
+                phases=dict(self._phase_wall),
+                outcomes=dict(self.outcomes),
+            )
 
     def finish(self) -> MetricsSnapshot:
         """Final snapshot; fires the progress callback one last time."""

@@ -75,6 +75,9 @@ _SHARD_RETRIES = obs_metrics.counter(
 _BISECTIONS = obs_metrics.counter(
     "shard_bisections_total",
     "Retry-exhausted shards split in half to isolate a poison fault.")
+_WORKERS_ALIVE = obs_metrics.gauge(
+    "campaign_workers_alive",
+    "Live worker processes in the current campaign's pool.")
 
 #: Callback fed each worker's drained span batch: (worker_id, events).
 SpanCallback = Callable[[int, List[Dict]], None]
@@ -325,6 +328,9 @@ class WorkerPool:
         self.on_quarantine = on_quarantine
         self.retries = 0
         self.hangs = 0
+        #: Live worker-process count, updated as the pool breathes
+        #: (spawn / death / teardown); read by the /status provider.
+        self.alive = 0
         #: EWMA of observed per-experiment wall time (None until the
         #: first shard completes); feeds the watchdog deadline.
         self.ewma_experiment_s: Optional[float] = None
@@ -389,6 +395,8 @@ class WorkerPool:
                              trace=self.trace, chaos_spec=chaos_spec)
             pool[next_worker_id] = worker
             next_worker_id += 1
+            self.alive = len(pool)
+            _WORKERS_ALIVE.set(len(pool))
 
         def feed(worker: _Worker) -> None:
             if stopping:
@@ -469,6 +477,9 @@ class WorkerPool:
                 return
             self.retries += 1
             _SHARD_RETRIES.inc(reason=kind)
+            TRACER.instant("shard_retry", shard=shard.shard_id,
+                           reason=kind,
+                           attempt=attempts[shard.shard_id])
             if self.on_retry is not None:
                 self.on_retry(shard)
             delay = min(_BACKOFF_CAP_S,
@@ -577,6 +588,8 @@ class WorkerPool:
             for worker_id in [wid for wid, worker in pool.items()
                               if not worker.process.is_alive()]:
                 worker = pool.pop(worker_id)
+                self.alive = len(pool)
+                _WORKERS_ALIVE.set(len(pool))
                 # Dispatch any complete messages the worker shipped
                 # before dying, so its finished shards are not re-run.
                 # Sends are synchronous in the worker, so a crash in
@@ -642,6 +655,8 @@ class WorkerPool:
                 worker.stop()
             for worker in pool.values():
                 worker.reap()
+            self.alive = 0
+            _WORKERS_ALIVE.set(0)
 
     def _pending_messages(self, conn):
         """Yield complete messages waiting on a worker pipe."""
